@@ -1,0 +1,38 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  Simulations
+are expensive relative to AVF measurements, so one `AvfStudy` per workload
+is built lazily and shared across all benchmarks in the session.
+
+Each benchmark writes its rows to ``benchmarks/results/<name>.txt`` (and to
+stdout) so the regenerated tables survive pytest's output capture.
+"""
+
+import pathlib
+from typing import Iterable
+
+import pytest
+
+from repro.experiments import StudyCache
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def study_of():
+    """study_of(name) -> cached AvfStudy under the experiment config."""
+    return StudyCache()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """report(name, lines): persist + print one experiment's output rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, lines: Iterable[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _report

@@ -1,0 +1,39 @@
+"""Figure 2: MTTF of a 32MB cache from temporal vs spatial multi-bit faults.
+
+Shape targets: spatial-MBF MTTF is below temporal-MBF MTTF at every raw
+rate (even with unbounded data lifetime); with the 100-year lifetime bound
+the gap reaches 6-8 orders of magnitude; the projected 5% sMBF fraction
+costs a further 50x.
+"""
+
+import pytest
+
+from repro.core import figure2_sweep
+
+
+def _sweep():
+    rows = figure2_sweep()
+    lines = [
+        f"{'FIT/Mbit':>9} {'sMBF 0.1%':>12} {'sMBF 5%':>12} "
+        f"{'tMBF inf':>12} {'tMBF 100yr':>12}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.raw_fit_per_mbit:9.2f} {r.mttf_smbf_01pct:12.3e} "
+            f"{r.mttf_smbf_5pct:12.3e} {r.mttf_tmbf_unbounded:12.3e} "
+            f"{r.mttf_tmbf_100yr:12.3e}"
+        )
+    return lines, rows
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_mttf(benchmark, report):
+    lines, rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report("figure2_mttf", lines)
+    for r in rows:
+        assert r.mttf_smbf_01pct < r.mttf_tmbf_unbounded
+        assert r.mttf_smbf_01pct < r.mttf_tmbf_100yr
+        assert r.mttf_smbf_01pct / r.mttf_smbf_5pct == pytest.approx(50.0)
+    low = rows[0]  # most realistic (lowest) raw rate
+    assert low.mttf_tmbf_100yr / low.mttf_smbf_01pct > 1e7
+    assert low.mttf_tmbf_100yr / low.mttf_smbf_5pct > 1e6

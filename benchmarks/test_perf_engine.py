@@ -1,0 +1,101 @@
+"""Performance: throughput of the analysis pipeline itself.
+
+Unlike the figure/table benches (which run an experiment once and assert
+its shape), these measure the *speed* of the reproduction's own stages —
+simulation, lifetime extraction, and the MB-AVF engine — over multiple
+rounds, so regressions in the deduplicating group enumerator or the
+interval sweeps show up in CI.
+"""
+
+import pytest
+
+from repro.core import (
+    AvfStudy,
+    FaultMode,
+    Interleaving,
+    Parity,
+    SecDed,
+    compute_mb_avf,
+)
+from repro.core.layout import build_cache_array
+from repro.experiments import scaled_apu_kwargs
+from repro.workloads import run
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """One finished study plus a ready-made layout + lifetimes pair."""
+    result = run("minife", apu_kwargs=scaled_apu_kwargs())
+    study = AvfStudy(result.apu, result.output_ranges)
+    lifetimes = study.l1_lifetimes()[0]
+    cfg = result.apu.memsys.l1s[0].config
+    layout = build_cache_array(
+        cfg.n_sets, cfg.n_ways, cfg.line_bytes,
+        style=Interleaving.WAY_PHYSICAL, factor=2,
+    )
+    return study, layout, lifetimes
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_simulation(benchmark):
+    """End-to-end workload simulation + verification."""
+    benchmark.pedantic(
+        lambda: run("matmul", apu_kwargs=scaled_apu_kwargs()),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_lifetime_analysis(benchmark):
+    """Cache event stream -> classed ACE intervals."""
+    result = run("matmul", apu_kwargs=scaled_apu_kwargs())
+
+    def fresh_study_lifetimes():
+        study = AvfStudy(result.apu, result.output_ranges)
+        # A new AvfStudy would re-run liveness; reuse the device but force
+        # the lifetime extraction itself.
+        study._l1_lifetimes = None
+        return study.l1_lifetimes()
+
+    benchmark.pedantic(fresh_study_lifetimes, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_engine_2x1(benchmark, prepared):
+    _, layout, lifetimes = prepared
+    res = benchmark.pedantic(
+        lambda: compute_mb_avf(layout, lifetimes, FaultMode.linear(2), Parity()),
+        rounds=5, iterations=1,
+    )
+    assert res.n_groups > 0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_engine_8x1(benchmark, prepared):
+    _, layout, lifetimes = prepared
+    benchmark.pedantic(
+        lambda: compute_mb_avf(layout, lifetimes, FaultMode.linear(8), SecDed()),
+        rounds=5, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_engine_rect(benchmark, prepared):
+    """The generic (non-vectorised) enumerator for 2-D modes."""
+    _, layout, lifetimes = prepared
+    benchmark.pedantic(
+        lambda: compute_mb_avf(layout, lifetimes, FaultMode.rect(2, 2), Parity()),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_vgpr_stack(benchmark, prepared):
+    study, _, _ = prepared
+    benchmark.pedantic(
+        lambda: study.vgpr_avf(
+            FaultMode.linear(2), Parity(),
+            style=Interleaving.INTER_THREAD, factor=2,
+        ),
+        rounds=3, iterations=1,
+    )

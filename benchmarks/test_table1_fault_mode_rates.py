@@ -1,0 +1,35 @@
+"""Table I: multi-bit fault fractions by technology node (Ibe et al.).
+
+Regenerates the fault-mode rate table that motivates the paper: the
+multi-bit share of SRAM faults grows from 0.5% at 180nm to 3.9% at 22nm,
+and the maximum fault width grows with scaling.
+"""
+
+import pytest
+
+from repro.core import TABLE_I
+
+
+def _render():
+    widths = sorted({w for v in TABLE_I.values() for w in v})
+    lines = ["node(nm)  total%  " + "".join(f"{w:>7}" for w in widths)]
+    rows = {}
+    for node in sorted(TABLE_I, reverse=True):
+        total = sum(TABLE_I[node].values())
+        row = f"{node:8d} {total:6.2f}  " + "".join(
+            f"{TABLE_I[node].get(w, 0.0):7.2f}" for w in widths
+        )
+        lines.append(row)
+        rows[node] = total
+    return lines, rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_fault_mode_rates(benchmark, report):
+    lines, rows = benchmark.pedantic(_render, rounds=1, iterations=1)
+    report("table1_fault_mode_rates", lines)
+    # Shape targets from the paper's text.
+    assert rows[180] == pytest.approx(0.5)
+    assert rows[22] == pytest.approx(3.9)
+    ordered = [rows[n] for n in sorted(TABLE_I, reverse=True)]
+    assert ordered == sorted(ordered)

@@ -1,0 +1,29 @@
+"""Table III: the per-mode raw fault rates used by the Sec. VIII case study.
+
+A total rate of 100, split over 1x1..8x1 per the 22nm accelerated-testing
+data, with faults wider than 8 bits folded into 8x1.
+"""
+
+import pytest
+
+from repro.core import TABLE_III, fault_mode_fractions
+
+
+def _render():
+    lines = ["mode   rate"]
+    for mode in sorted(TABLE_III, key=lambda m: int(m.split("x")[0])):
+        lines.append(f"{mode:<6} {TABLE_III[mode]:6.2f}")
+    lines.append(f"total  {sum(TABLE_III.values()):6.2f}")
+    return lines
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_fault_rates(benchmark, report):
+    lines = benchmark.pedantic(_render, rounds=1, iterations=1)
+    report("table3_fault_rates", lines)
+    assert sum(TABLE_III.values()) == pytest.approx(100.0)
+    assert TABLE_III["1x1"] == pytest.approx(96.1)
+    # Consistent with the 22nm column of Table I after folding >8-bit modes.
+    fr22 = fault_mode_fractions(22)
+    for mode, fit in TABLE_III.items():
+        assert fit / 100.0 == pytest.approx(fr22[mode], abs=1e-9)

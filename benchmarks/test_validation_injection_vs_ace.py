@@ -1,0 +1,50 @@
+"""Validation: ACE-analysis AVF vs statistical fault injection.
+
+The foundational sanity check of the whole methodology (Sec. III discusses
+the Wang-et-al comparison): inject uniformly random (byte, bit, cycle)
+faults into the memory data image and compare the observed SDC rate with
+the ACE model's prediction (the region's ACE fraction).
+
+Shape targets: ACE analysis is *conservative* — the observed rate must not
+exceed the prediction beyond binomial noise — while remaining tight (same
+order of magnitude), as the paper's Sec. VII-A study concludes for the SDC
+model.
+"""
+
+import pytest
+
+from repro.faultinject.validation import validate_memory_avf
+
+BENCHMARKS = ("matmul", "transpose")
+N_INJECTIONS = 120
+
+
+def _run():
+    return [
+        validate_memory_avf(b, n_injections=N_INJECTIONS, n_cus=1)
+        for b in BENCHMARKS
+    ]
+
+
+@pytest.mark.benchmark(group="validation")
+def test_validation_injection_vs_ace(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{'benchmark':<12} {'model AVF':>10} {'observed':>9} {'stderr':>8} "
+        f"{'sdc':>4} {'masked':>7} {'crash':>6}"
+    ]
+    for r in results:
+        lines.append(
+            f"{r.benchmark:<12} {r.model_avf:10.4f} {r.observed_rate:9.4f} "
+            f"{r.stderr:8.4f} {r.sdc:4d} {r.masked:7d} {r.crash:6d}"
+        )
+    report("validation_injection_vs_ace", lines)
+
+    for r in results:
+        # Conservative: the observed rate does not exceed the model beyond
+        # ~3 binomial standard errors.
+        assert r.observed_rate <= r.model_avf + 3 * r.stderr + 0.02, r.benchmark
+        # Tight: the model is within the right order of magnitude.
+        assert r.observed_rate >= 0.25 * r.model_avf - 0.02, r.benchmark
+        # The campaign actually exercised both outcomes.
+        assert r.sdc > 0 and r.masked > 0, r.benchmark

@@ -1,0 +1,37 @@
+"""Fault-injection campaign demo (paper Sec. VII-A / Table II, miniature).
+
+Injects random single-bit transient faults into the vector register file of
+a running kernel, identifies the SDC ACE bits (injections that corrupt the
+program output), then injects multi-bit faults on groups containing those
+bits to look for ACE interference — cases where the extra flips cancel the
+corruption.  The paper (and this reproduction) finds interference is rare,
+which is what licenses estimating SDC MB-AVF from single-bit ACE analysis.
+
+Run with:  python examples/fault_injection_demo.py
+"""
+
+from repro.faultinject import run_campaign
+
+
+def main() -> None:
+    campaign = run_campaign(
+        "transpose", n_single=40, modes=(2, 3, 4), max_groups_per_mode=10,
+    )
+    print(f"benchmark: {campaign.benchmark}")
+    print(f"single-bit injections: {campaign.n_single_injections}")
+    for outcome, count in sorted(campaign.single_outcomes.items()):
+        print(f"  {outcome:<8} {count}")
+    print(f"SDC ACE bits identified: {campaign.n_sdc_ace_bits}")
+    print("\nmulti-bit groups built from SDC ACE bits + adjacent bits:")
+    print(f"{'mode':<6} {'injected':>9} {'ACE interference':>17}")
+    for m, (injected, interfering) in sorted(campaign.multibit.items()):
+        print(f"{m}x1    {injected:9d} {interfering:17d}")
+    total = sum(n for n, _ in campaign.multibit.values())
+    inter = campaign.interference_total()
+    if total:
+        print(f"\ninterference rate: {inter}/{total} "
+              f"({inter / total:.1%}) — the paper reports ~0.1%")
+
+
+if __name__ == "__main__":
+    main()

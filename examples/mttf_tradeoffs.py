@@ -1,0 +1,32 @@
+"""Spatial vs temporal multi-bit fault MTTFs (paper Figure 2).
+
+Why does the paper model only *spatial* MBFs?  Because at realistic raw
+fault rates, one strike flipping several adjacent bits is overwhelmingly
+more likely to defeat protection than two independent strikes landing on
+companion bits — even assuming data lives in the cache forever.
+
+Run with:  python examples/mttf_tradeoffs.py
+"""
+
+from repro.core import figure2_sweep
+
+
+def main() -> None:
+    print("MTTF of a 32MB cache (hours), by raw fault rate (FIT/Mbit)")
+    hdr = (f"{'raw rate':>9} {'sMBF 0.1%':>12} {'sMBF 5%':>12} "
+           f"{'tMBF inf-life':>14} {'tMBF 100yr':>14}")
+    print(hdr)
+    print("-" * len(hdr))
+    for row in figure2_sweep():
+        print(
+            f"{row.raw_fit_per_mbit:9.2f} {row.mttf_smbf_01pct:12.3e} "
+            f"{row.mttf_smbf_5pct:12.3e} {row.mttf_tmbf_unbounded:14.3e} "
+            f"{row.mttf_tmbf_100yr:14.3e}"
+        )
+    print("\nspatial-MBF MTTFs sit far below temporal-MBF MTTFs at every")
+    print("rate; with the realistic 100-year lifetime bound the gap reaches")
+    print("6-8 orders of magnitude, matching Figure 2 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+``pyproject.toml`` is the source of truth; this file only enables
+``python setup.py develop`` on toolchains too old for PEP 660 editable
+installs (e.g. offline environments without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,215 @@
+"""Command-line interface: run workloads and AVF studies from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run matmul
+    python -m repro avf matmul --structure l1 --mode 2x1 --scheme parity \\
+        --style logical --factor 2
+    python -m repro ser matmul --structure vgpr --scheme parity \\
+        --style inter_thread --factor 4
+    python -m repro inject transpose --singles 30
+    python -m repro mttf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    SCHEMES,
+    AvfStudy,
+    FaultMode,
+    Interleaving,
+    TABLE_III,
+    figure2_sweep,
+    soft_error_rate,
+)
+from .experiments import scaled_apu_kwargs
+from .workloads import names, run
+
+__all__ = ["main"]
+
+_STYLES = {s.value: s for s in Interleaving}
+
+
+def _parse_mode(text: str) -> FaultMode:
+    """'3x1' -> linear mode; '2x2' -> rectangular mode."""
+    try:
+        w, h = (int(x) for x in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad fault mode {text!r} (want MxN)")
+    return FaultMode.linear(w) if h == 1 else FaultMode.rect(h, w)
+
+
+def _build_study(args) -> AvfStudy:
+    kwargs = scaled_apu_kwargs() if args.scaled else None
+    result = run(args.workload, seed=args.seed, n_cus=args.cus,
+                 apu_kwargs=kwargs)
+    return AvfStudy(result.apu, result.output_ranges)
+
+
+def _measure(study: AvfStudy, args, mode: FaultMode):
+    scheme = SCHEMES[args.scheme]
+    style = _STYLES[args.style]
+    if args.structure == "vgpr":
+        return study.vgpr_avf(mode, scheme, style=style, factor=args.factor)
+    return study.cache_avf(
+        args.structure, mode, scheme, style=style, factor=args.factor
+    )
+
+
+def _cmd_list(args) -> int:
+    for name in names():
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run(args.workload, seed=args.seed, n_cus=args.cus,
+                 apu_kwargs=scaled_apu_kwargs() if args.scaled else None)
+    print(f"workload:      {result.name}")
+    print(f"launches:      {len(result.stats)}")
+    print(f"instructions:  {result.total_instructions}")
+    print(f"cycles:        {result.end_cycle}")
+    for l1 in result.apu.memsys.l1s:
+        total = l1.hits + l1.misses
+        rate = l1.hits / total if total else 0.0
+        print(f"{l1.name} hit rate:  {rate:.1%} ({l1.hits}/{total})")
+    l2 = result.apu.memsys.l2
+    total = l2.hits + l2.misses
+    print(f"l2 hit rate:   {l2.hits / total if total else 0:.1%} "
+          f"({l2.hits}/{total})")
+    print("output verified against numpy reference: OK")
+    return 0
+
+
+def _cmd_avf(args) -> int:
+    study = _build_study(args)
+    res = _measure(study, args, args.mode)
+    print(f"workload:   {args.workload}")
+    print(f"structure:  {args.structure}")
+    print(f"fault mode: {res.mode.name}  scheme: {res.scheme}  "
+          f"style: {args.style} x{args.factor}")
+    print(f"groups:     {res.n_groups}   window: {res.window_cycles} cycles")
+    print(f"DUE MB-AVF:   {res.due_avf:.6f} "
+          f"(true {res.true_due_avf:.6f}, false {res.false_due_avf:.6f})")
+    print(f"SDC MB-AVF:   {res.sdc_avf:.6f}")
+    print(f"total AVF:    {res.total_avf:.6f}")
+    return 0
+
+
+def _cmd_ser(args) -> int:
+    study = _build_study(args)
+    avf_by_mode = {}
+    for mode_name in TABLE_III:
+        m = int(mode_name.split("x")[0])
+        res = _measure(study, args, FaultMode.linear(m))
+        avf_by_mode[mode_name] = (res.due_avf, res.sdc_avf)
+    ser = soft_error_rate(TABLE_III, avf_by_mode, args.structure)
+    print(f"{'mode':<6} {'rate':>7} {'DUE AVF':>9} {'SDC AVF':>9}")
+    for mode_name, fit in sorted(
+        TABLE_III.items(), key=lambda kv: int(kv[0].split("x")[0])
+    ):
+        d, s_ = avf_by_mode[mode_name]
+        print(f"{mode_name:<6} {fit:7.2f} {d:9.5f} {s_:9.5f}")
+    print(f"SER ({args.structure}, {args.scheme} {args.style} x{args.factor}): "
+          f"DUE {ser.due_fit:.4f}  SDC {ser.sdc_fit:.4f}  "
+          f"total {ser.total_fit:.4f}")
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    from .faultinject import run_campaign
+
+    c = run_campaign(
+        args.workload, n_single=args.singles,
+        max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
+    )
+    print(f"benchmark: {c.benchmark}")
+    for outcome, count in sorted(c.single_outcomes.items()):
+        print(f"  {outcome:<8} {count}")
+    print(f"SDC ACE bits: {c.n_sdc_ace_bits}")
+    for m, (injected, interfering) in sorted(c.multibit.items()):
+        print(f"  {m}x1 groups: {injected}, ACE interference: {interfering}")
+    return 0
+
+
+def _cmd_mttf(args) -> int:
+    print(f"{'FIT/Mbit':>9} {'sMBF 0.1%':>12} {'sMBF 5%':>12} "
+          f"{'tMBF inf':>12} {'tMBF 100yr':>12}")
+    for r in figure2_sweep():
+        print(f"{r.raw_fit_per_mbit:9.2f} {r.mttf_smbf_01pct:12.3e} "
+              f"{r.mttf_smbf_5pct:12.3e} {r.mttf_tmbf_unbounded:12.3e} "
+              f"{r.mttf_tmbf_100yr:12.3e}")
+    return 0
+
+
+def _add_common(sub) -> None:
+    sub.add_argument("workload", choices=names())
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--cus", type=int, default=4, help="compute units")
+    sub.add_argument(
+        "--scaled", action="store_true", default=True,
+        help="use the scaled experiment cache configuration (default)",
+    )
+    sub.add_argument(
+        "--paper-caches", dest="scaled", action="store_false",
+        help="use the paper's 16KB/256KB cache sizes instead",
+    )
+
+
+def _add_measure_args(sub) -> None:
+    sub.add_argument("--structure", choices=("l1", "l2", "vgpr"), default="l1")
+    sub.add_argument("--scheme", choices=sorted(SCHEMES), default="parity")
+    sub.add_argument("--style", choices=sorted(_STYLES), default="none")
+    sub.add_argument("--factor", type=int, default=1)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MB-AVF: multi-bit AVF analysis (MICRO 2014 reproduction)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    subs.add_parser("list", help="list available workloads")
+
+    p_run = subs.add_parser("run", help="run and verify a workload")
+    _add_common(p_run)
+
+    p_avf = subs.add_parser("avf", help="measure an MB-AVF")
+    _add_common(p_avf)
+    _add_measure_args(p_avf)
+    p_avf.add_argument("--mode", type=_parse_mode, default=FaultMode.linear(2),
+                       help="fault mode, e.g. 1x1, 4x1, 2x2")
+
+    p_ser = subs.add_parser(
+        "ser", help="soft error rate over all Table III fault modes"
+    )
+    _add_common(p_ser)
+    _add_measure_args(p_ser)
+
+    p_inj = subs.add_parser("inject", help="fault-injection campaign")
+    _add_common(p_inj)
+    p_inj.add_argument("--singles", type=int, default=40)
+    p_inj.add_argument("--groups", type=int, default=10)
+
+    subs.add_parser("mttf", help="Figure 2 tMBF/sMBF MTTF table")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "avf": _cmd_avf,
+        "ser": _cmd_ser,
+        "inject": _cmd_inject,
+        "mttf": _cmd_mttf,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""High-level orchestration: run a workload, then measure any AVF you like.
+
+:class:`AvfStudy` wires together the full pipeline of the paper:
+
+1. the simulator's event traces (:class:`~repro.arch.gpu.Apu`),
+2. the backward liveness pass (dynamic-dead + logic masking),
+3. per-structure lifetime analysis (L1s, L2, per-wavefront VGPRs),
+4. the MB-AVF engine for any (fault mode, protection scheme, interleaving)
+   combination.
+
+Lifetimes are computed once per structure and reused across every AVF
+configuration, mirroring the "event tracking, then analysis" split of the
+paper's infrastructure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.gpu import Apu
+from ..arch.liveness import analyze_liveness
+from .avf import (
+    MbAvfResult,
+    StructureLifetimes,
+    ace_locality,
+    compute_mb_avf,
+    merge_results,
+)
+from .faultmodes import FaultMode
+from .layout import (
+    Interleaving,
+    SramArray,
+    build_cache_array,
+    build_regfile_array,
+)
+from .layout import build_tag_array
+from .lifetime import (
+    MemoryConsumption,
+    analyze_cache,
+    analyze_memory,
+    analyze_vgpr,
+    derive_tag_lifetimes,
+    merge_fill_maps,
+)
+from .protection import ProtectionScheme
+
+__all__ = ["AvfStudy"]
+
+
+class AvfStudy:
+    """AVF measurement session over one finished workload run.
+
+    Parameters
+    ----------
+    apu:
+        The device the workload ran on.  ``finish()`` is called if the
+        caller has not done so.
+    output_ranges:
+        (base, size) pairs of the buffers the host consumes — the roots of
+        the liveness analysis.
+    vgpr_regs:
+        Number of architectural VGPRs modelled per thread in the register
+        file structure (defaults to the largest register count any launched
+        kernel used, rounded up to a power of two for interleaving).
+    """
+
+    def __init__(
+        self,
+        apu: Apu,
+        output_ranges: Sequence[Tuple[int, int]],
+        vgpr_regs: Optional[int] = None,
+    ) -> None:
+        self.apu = apu
+        self.output_ranges = list(output_ranges)
+        if not apu.finished:
+            apu.finish()
+        self.end_cycle = apu.cycle
+        if vgpr_regs is None:
+            most = max(
+                (p.n_vregs for p in apu.wf_programs.values()), default=8
+            )
+            vgpr_regs = 1 << max(3, (most - 1).bit_length())
+        self.vgpr_regs = vgpr_regs
+        # Liveness annotation (in place on the records).
+        n_vregs_by_wf = {w: p.n_vregs for w, p in apu.wf_programs.items()}
+        analyze_liveness(
+            apu.records,
+            n_vregs_by_wf,
+            apu.memory.size,
+            self.output_ranges,
+            lds_size=apu.lds_bytes,
+        )
+        self._records_by_uid = {r.uid: r for r in apu.records}
+        self._memcons: Optional[MemoryConsumption] = None
+        self._l1_lifetimes: Optional[List[StructureLifetimes]] = None
+        self._l2_lifetime: Optional[StructureLifetimes] = None
+        self._vgpr_lifetimes: Optional[List[StructureLifetimes]] = None
+        self._layout_cache: Dict[Tuple, SramArray] = {}
+
+    # -- lifetimes (lazy, cached) -------------------------------------------
+
+    @property
+    def memcons(self) -> MemoryConsumption:
+        if self._memcons is None:
+            self._memcons = MemoryConsumption(
+                self.apu.records, self.apu.memory.size, self.output_ranges
+            )
+        return self._memcons
+
+    def l1_lifetimes(self) -> List[StructureLifetimes]:
+        """Per-CU L1 lifetimes (also resolves fill verdicts for the L2)."""
+        if self._l1_lifetimes is None:
+            self._l1_lifetimes = []
+            self._l1_fills = []
+            for l1 in self.apu.memsys.l1s:
+                lt, fills = analyze_cache(
+                    l1, self._records_by_uid, self.end_cycle
+                )
+                self._l1_lifetimes.append(lt)
+                self._l1_fills.append(fills)
+        return self._l1_lifetimes
+
+    def l2_lifetime(self) -> StructureLifetimes:
+        if self._l2_lifetime is None:
+            self.l1_lifetimes()  # ensure fill verdicts exist
+            upstream = merge_fill_maps(self._l1_fills)
+            self._l2_lifetime, _ = analyze_cache(
+                self.apu.memsys.l2,
+                self._records_by_uid,
+                self.end_cycle,
+                memcons=self.memcons,
+                upstream_fills=upstream,
+            )
+        return self._l2_lifetime
+
+    def vgpr_lifetimes(self) -> List[StructureLifetimes]:
+        """One register-file lifetime per launched wavefront."""
+        if self._vgpr_lifetimes is None:
+            self._vgpr_lifetimes = [
+                analyze_vgpr(
+                    self.apu.records, wf, self.vgpr_regs, self.end_cycle
+                )
+                for wf in sorted(self.apu.wf_programs)
+            ]
+        return self._vgpr_lifetimes
+
+    # -- layouts --------------------------------------------------------------
+
+    def _cache_layout(
+        self, level: str, style: Interleaving, factor: int, domain_bytes: int
+    ) -> SramArray:
+        key = (level, style, factor, domain_bytes)
+        if key not in self._layout_cache:
+            cfg = (
+                self.apu.memsys.l1s[0].config
+                if level == "l1" else self.apu.memsys.l2.config
+            )
+            self._layout_cache[key] = build_cache_array(
+                cfg.n_sets, cfg.n_ways, cfg.line_bytes,
+                domain_bytes=domain_bytes, style=style, factor=factor,
+                name=level,
+            )
+        return self._layout_cache[key]
+
+    def _vgpr_layout(self, style: Interleaving, factor: int) -> SramArray:
+        key = ("vgpr", style, factor)
+        if key not in self._layout_cache:
+            self._layout_cache[key] = build_regfile_array(
+                16, self.vgpr_regs, style=style, factor=factor, name="vgpr"
+            )
+        return self._layout_cache[key]
+
+    # -- AVF measurements -------------------------------------------------------
+
+    def cache_avf(
+        self,
+        level: str,
+        mode: FaultMode,
+        scheme: ProtectionScheme,
+        *,
+        style: Interleaving = Interleaving.NONE,
+        factor: int = 1,
+        domain_bytes: int = 4,
+        due_preempts_sdc: bool = False,
+        series_edges: Optional[Sequence[int]] = None,
+    ) -> MbAvfResult:
+        """MB-AVF of the L1 (merged over CUs) or L2 cache."""
+        layout = self._cache_layout(level, style, factor, domain_bytes)
+        if level == "l1":
+            lts = self.l1_lifetimes()
+        elif level == "l2":
+            lts = [self.l2_lifetime()]
+        else:
+            raise ValueError("level must be 'l1' or 'l2'")
+        results = [
+            compute_mb_avf(
+                layout, lt, mode, scheme,
+                due_preempts_sdc=due_preempts_sdc, series_edges=series_edges,
+            )
+            for lt in lts
+        ]
+        return merge_results(results)
+
+    def vgpr_avf(
+        self,
+        mode: FaultMode,
+        scheme: ProtectionScheme,
+        *,
+        style: Interleaving = Interleaving.INTRA_THREAD,
+        factor: int = 1,
+        due_preempts_sdc: Optional[bool] = None,
+        series_edges: Optional[Sequence[int]] = None,
+    ) -> MbAvfResult:
+        """MB-AVF of the vector register file, merged over wavefronts.
+
+        With inter-thread interleaving the 16 threads of a wavefront read a
+        register row simultaneously, so a detected region fires before an
+        undetected one propagates — the Sec. VIII rule.  That behaviour is
+        applied automatically unless ``due_preempts_sdc`` is forced.
+        """
+        if due_preempts_sdc is None:
+            due_preempts_sdc = style is Interleaving.INTER_THREAD
+        layout, lifetimes = self._stacked_vgpr(style, factor)
+        return compute_mb_avf(
+            layout, lifetimes, mode, scheme,
+            due_preempts_sdc=due_preempts_sdc, series_edges=series_edges,
+        )
+
+    def _stacked_vgpr(
+        self, style: Interleaving, factor: int
+    ) -> Tuple[SramArray, StructureLifetimes]:
+        """All wavefronts' register files stacked into one structure.
+
+        Interleaving stays wavefront-internal (rows never mix wavefronts);
+        stacking just lets one engine invocation cover the whole register
+        file, with byte/domain ids offset per wavefront.
+        """
+        key = ("vgpr-stack", style, factor)
+        if key not in self._layout_cache:
+            base = self._vgpr_layout(style, factor)
+            lts = self.vgpr_lifetimes()
+            n = len(lts)
+            byte_of = np.vstack(
+                [base.byte_of + np.int32(k * base.n_bytes) for k in range(n)]
+            )
+            domain_of = np.vstack(
+                [base.domain_of + np.int32(k * base.n_domains) for k in range(n)]
+            )
+            stacked = SramArray(
+                "vgpr", byte_of, domain_of, base.domain_bytes,
+                base.interleave_factor, base.style,
+            )
+            isets: List = []
+            for lt in lts:
+                isets.extend(lt.byte_isets)
+            lifetimes = StructureLifetimes("vgpr", isets, 0, self.end_cycle)
+            self._layout_cache[key] = (stacked, lifetimes)
+        return self._layout_cache[key]
+
+    def memory_lifetimes(self, region: Tuple[int, int]) -> StructureLifetimes:
+        """Architectural lifetimes of a flat memory region (see
+        :func:`repro.core.lifetime.analyze_memory`)."""
+        return analyze_memory(
+            self.apu.records, region, self.output_ranges, self.end_cycle
+        )
+
+    def tag_avf(
+        self,
+        level: str,
+        mode: FaultMode,
+        scheme: ProtectionScheme,
+        *,
+        factor: int = 1,
+        tag_bytes: int = 3,
+        series_edges: Optional[Sequence[int]] = None,
+    ) -> MbAvfResult:
+        """MB-AVF of a cache's tag array (conservative address-structure model).
+
+        Tag lifetimes are derived from the data array's: an entry is ACE
+        while its line holds live data.  ``factor`` interleaves adjacent
+        ways' tags within a set's row.
+        """
+        cfg = (
+            self.apu.memsys.l1s[0].config
+            if level == "l1" else self.apu.memsys.l2.config
+        )
+        key = ("tags", level, factor, tag_bytes)
+        if key not in self._layout_cache:
+            self._layout_cache[key] = build_tag_array(
+                cfg.n_sets, cfg.n_ways, tag_bytes=tag_bytes, factor=factor,
+                name=f"{level}.tags",
+            )
+        layout = self._layout_cache[key]
+        if level == "l1":
+            data_lts = self.l1_lifetimes()
+        elif level == "l2":
+            data_lts = [self.l2_lifetime()]
+        else:
+            raise ValueError("level must be 'l1' or 'l2'")
+        results = [
+            compute_mb_avf(
+                layout,
+                derive_tag_lifetimes(lt, cfg.line_bytes, tag_bytes=tag_bytes),
+                mode, scheme, series_edges=series_edges,
+            )
+            for lt in data_lts
+        ]
+        return merge_results(results)
+
+    def cache_ace_locality(
+        self, level: str, *, style: Interleaving = Interleaving.NONE,
+        factor: int = 1, domain_bytes: int = 4,
+    ) -> float:
+        """ACE locality of a cache under a given physical layout."""
+        layout = self._cache_layout(level, style, factor, domain_bytes)
+        lts = self.l1_lifetimes() if level == "l1" else [self.l2_lifetime()]
+        vals = [ace_locality(layout, lt) for lt in lts]
+        return float(np.mean(vals))

@@ -1,0 +1,465 @@
+"""MB-AVF computation engine (Sec. IV, V and VII of the paper).
+
+Given
+
+* a physical layout (:class:`~repro.core.layout.SramArray`),
+* per-byte classed ACE lifetimes (:class:`StructureLifetimes`),
+* a fault mode (:class:`~repro.core.faultmodes.FaultMode`) and
+* a protection scheme (:class:`~repro.core.protection.ProtectionScheme`),
+
+the engine enumerates every fault group of the mode in the structure,
+splits each group into overlapped regions (one per protection domain it
+touches), classifies each region through the scheme's reaction, combines the
+regions with the SDC/DUE precedence rules, and integrates the resulting
+outcome intervals into DUE and SDC MB-AVF values (eq. 2, 4-7).
+
+Groups whose classification is identical — same per-region faulty-bit counts
+and same member lifetime content — are deduplicated, which makes the
+enumeration of the ~1e5 groups of a real cache array cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .faultmodes import FaultMode
+from .intervals import AceClass, IntervalSet, Outcome, combine_outcomes, sweep_max
+from .layout import SramArray
+from .protection import ProtectionScheme, classify_region
+
+__all__ = [
+    "StructureLifetimes",
+    "MbAvfResult",
+    "compute_mb_avf",
+    "compute_sb_avf",
+    "merge_results",
+    "ace_locality",
+    "intersection_duration",
+]
+
+
+@dataclass
+class StructureLifetimes:
+    """Per-byte classed ACE intervals for one hardware structure.
+
+    ``byte_isets[i]`` holds the :class:`AceClass` intervals of tracked byte
+    ``i`` (all 8 bits of a byte share one classification; bit-level liveness
+    refinements are already folded in by the lifetime builder).  The analysis
+    window is ``[start_cycle, end_cycle)``; intervals must lie inside it.
+    """
+
+    name: str
+    byte_isets: Sequence[IntervalSet]
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def window_cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def sb_ace_fraction(self) -> float:
+        """Plain single-bit AVF with no protection (fraction of ACE bit-cycles)."""
+        total = sum(s.total(int(AceClass.ACE)) for s in self.byte_isets)
+        return total / (len(self.byte_isets) * self.window_cycles)
+
+
+@dataclass
+class MbAvfResult:
+    """Result of one MB-AVF computation for a (structure, mode, scheme)."""
+
+    structure: str
+    mode: FaultMode
+    scheme: str
+    n_groups: int
+    window_cycles: int
+    #: summed group-cycles per outcome class (indexed by ``Outcome``)
+    outcome_cycles: Dict[Outcome, float] = field(default_factory=dict)
+    #: optional time series: bucket edges and per-bucket outcome group-cycles
+    series_edges: Optional[np.ndarray] = None
+    series: Optional[np.ndarray] = None  # (buckets, 4)
+
+    def _avf(self, *outcomes: Outcome) -> float:
+        denom = self.n_groups * self.window_cycles
+        if denom == 0:
+            return 0.0
+        return sum(self.outcome_cycles.get(o, 0.0) for o in outcomes) / denom
+
+    @property
+    def due_avf(self) -> float:
+        """DUE MB-AVF: true + false detected-uncorrected error AVF."""
+        return self._avf(Outcome.TRUE_DUE, Outcome.FALSE_DUE)
+
+    @property
+    def true_due_avf(self) -> float:
+        return self._avf(Outcome.TRUE_DUE)
+
+    @property
+    def false_due_avf(self) -> float:
+        return self._avf(Outcome.FALSE_DUE)
+
+    @property
+    def sdc_avf(self) -> float:
+        """SDC MB-AVF: silent-data-corruption AVF."""
+        return self._avf(Outcome.SDC)
+
+    @property
+    def total_avf(self) -> float:
+        """Any-error AVF (SDC + DUE)."""
+        return self._avf(Outcome.SDC, Outcome.TRUE_DUE, Outcome.FALSE_DUE)
+
+    def series_avf(self, outcome: Outcome) -> np.ndarray:
+        """Per-bucket AVF time series for one outcome class."""
+        if self.series is None or self.series_edges is None:
+            raise ValueError("result was computed without a time series")
+        widths = np.diff(self.series_edges).astype(float)
+        denom = widths * self.n_groups
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(denom > 0, self.series[:, int(outcome)] / denom, 0.0)
+        return out
+
+    def quantized_avf(
+        self, *outcomes: Outcome, reduce: str = "max"
+    ) -> float:
+        """Quantized AVF: worst (or percentile) windowed AVF over the run.
+
+        Whole-run AVFs average away vulnerability spikes; quantized AVF
+        (Biswas et al., the paper's ref [9]) reports the AVF of the worst
+        small window instead, which is what burst-error budgeting needs.
+        Requires the result to have been computed with ``series_edges``.
+        ``reduce`` is ``'max'`` or ``'p<NN>'`` (e.g. ``'p95'``).
+        """
+        if not outcomes:
+            outcomes = (Outcome.TRUE_DUE, Outcome.FALSE_DUE, Outcome.SDC)
+        total = sum(self.series_avf(o) for o in outcomes)
+        if reduce == "max":
+            return float(total.max())
+        if reduce.startswith("p"):
+            return float(np.percentile(total, float(reduce[1:])))
+        raise ValueError(f"unknown reduction {reduce!r}")
+
+
+def _canonical_iset_ids(
+    lifetimes: StructureLifetimes,
+) -> Tuple[np.ndarray, List[IntervalSet]]:
+    """Map byte ids to canonical interval-set ids (0 = empty set)."""
+    table: Dict[Tuple, int] = {(): 0}
+    unique: List[IntervalSet] = [IntervalSet()]
+    byte2iid = np.zeros(len(lifetimes.byte_isets), dtype=np.int32)
+    for b, iset in enumerate(lifetimes.byte_isets):
+        key = tuple(iset)
+        iid = table.get(key)
+        if iid is None:
+            iid = len(unique)
+            table[key] = iid
+            unique.append(iset)
+        byte2iid[b] = iid
+    return byte2iid, unique
+
+
+GroupSignature = Tuple[Tuple[int, FrozenSet[int]], ...]
+
+
+def _unique_rows(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(unique rows, counts) via lexsort — much faster than unique(axis=0)."""
+    order = np.lexsort(a.T[::-1])
+    b = a[order]
+    change = np.empty(len(b), dtype=bool)
+    change[0] = True
+    np.any(b[1:] != b[:-1], axis=1, out=change[1:])
+    starts = np.where(change)[0]
+    counts = np.diff(np.append(starts, len(b)))
+    return b[starts], counts
+
+
+def _enumerate_linear_signatures(
+    array: SramArray, byte2iid: np.ndarray, m: int
+) -> Dict[GroupSignature, int]:
+    """Vectorized fault-group signature counting for contiguous Mx1 modes.
+
+    Every window of ``m`` adjacent bits in a row is keyed by the vector of
+    (domain id relative to the window's first bit's domain, lifetime id) per
+    position.  Equal keys imply an identical domain-equality pattern and
+    identical member lifetimes, hence an identical classification; windows
+    are bucketed with one ``np.unique`` over all rows at once.
+    """
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    iid_of = byte2iid[array.byte_of]
+    dom_win = sliding_window_view(array.domain_of, m, axis=1)
+    iid_win = sliding_window_view(iid_of, m, axis=1)
+    n_win = dom_win.shape[0] * dom_win.shape[1]
+    iid_flat = iid_win.reshape(n_win, m)
+    # Windows whose members are all lifetime-empty classify to nothing; drop
+    # them up front (they still count in the denominator via n_groups).
+    active = iid_flat.any(axis=1)
+    if not active.any():
+        return {}
+    dom_flat = dom_win.reshape(n_win, m)[active]
+    keys = np.empty((len(dom_flat), 2 * m), dtype=np.int32)
+    keys[:, :m] = dom_flat - dom_flat[:, :1]
+    keys[:, m:] = iid_flat[active]
+    uniq, counts = _unique_rows(keys)
+    sigs: Dict[GroupSignature, int] = {}
+    for key, cnt in zip(uniq, counts):
+        regions: Dict[int, Tuple[int, set]] = {}
+        for pos in range(m):
+            d = int(key[pos])
+            iid = int(key[m + pos])
+            if d in regions:
+                n, ids = regions[d]
+                if iid:
+                    ids.add(iid)
+                regions[d] = (n + 1, ids)
+            else:
+                regions[d] = (1, {iid} if iid else set())
+        sig = tuple(sorted((n, frozenset(ids)) for n, ids in regions.values()))
+        sigs[sig] = sigs.get(sig, 0) + int(cnt)
+    return sigs
+
+
+def _enumerate_signatures(
+    array: SramArray, byte2iid: np.ndarray, mode: FaultMode
+) -> Dict[GroupSignature, int]:
+    """Count fault groups per canonical (regions) signature.
+
+    A signature is the multiset of the group's overlapped regions, each
+    region being ``(n_faulty_bits, frozenset of member lifetime ids)``.  Two
+    groups with equal signatures have identical AVF classification.
+    """
+    h, w = mode.height, mode.width
+    rows, cols = array.rows, array.cols
+    if h > rows or w > cols:
+        return {}
+    if mode.is_linear():
+        return _enumerate_linear_signatures(array, byte2iid, mode.n_bits)
+    iid_of = byte2iid[array.byte_of]  # (rows, cols) canonical lifetime ids
+    dom_of = array.domain_of
+    sigs: Dict[GroupSignature, int] = {}
+    offsets = mode.offsets
+    empty_sig: Optional[GroupSignature] = None
+    for r0 in range(rows - h + 1):
+        # Fast path: a window of rows with no non-empty lifetimes yields the
+        # all-unACE signature for every column placement.
+        window_iids = iid_of[r0 : r0 + h]
+        if not window_iids.any():
+            if empty_sig is None:
+                dom_row = dom_of[r0 : r0 + h]
+                counts: Dict[int, int] = {}
+                for dr, dc in offsets:
+                    d = int(dom_row[dr, dc])
+                    counts[d] = counts.get(d, 0) + 1
+                empty_sig = tuple(sorted((n, frozenset()) for n in counts.values()))
+            # Column placements can differ in how many domains they straddle,
+            # but with empty lifetimes every region is unACE regardless, so
+            # only the region *count* pattern could matter — and it cannot
+            # change the (empty) outcome.  Lump them together.
+            sigs[empty_sig] = sigs.get(empty_sig, 0) + (cols - w + 1)
+            continue
+        dom_rows = [list(map(int, dom_of[r0 + dr])) for dr in range(h)]
+        iid_rows = [list(map(int, window_iids[dr])) for dr in range(h)]
+        for c0 in range(cols - w + 1):
+            regions: Dict[int, Tuple[int, set]] = {}
+            for dr, dc in offsets:
+                d = dom_rows[dr][c0 + dc]
+                iid = iid_rows[dr][c0 + dc]
+                if d in regions:
+                    n, ids = regions[d]
+                    if iid:
+                        ids.add(iid)
+                    regions[d] = (n + 1, ids)
+                else:
+                    regions[d] = (1, {iid} if iid else set())
+            sig = tuple(
+                sorted((n, frozenset(ids)) for n, ids in regions.values())
+            )
+            sigs[sig] = sigs.get(sig, 0) + 1
+    return sigs
+
+
+def compute_mb_avf(
+    array: SramArray,
+    lifetimes: StructureLifetimes,
+    mode: FaultMode,
+    scheme: ProtectionScheme,
+    *,
+    due_preempts_sdc: bool = False,
+    miscorrect_corrupts: bool = False,
+    series_edges: Optional[Sequence[int]] = None,
+) -> MbAvfResult:
+    """Compute the DUE and SDC MB-AVF of ``array`` for one fault mode.
+
+    ``due_preempts_sdc`` enables the Sec. VIII simultaneous-read rule (a
+    detected region fires before an undetected region's data can propagate,
+    e.g. inter-thread interleaving within one GPU wavefront read).
+
+    ``series_edges`` optionally requests an AVF-over-time series with the
+    given bucket boundaries (used for the paper's phase plots, Fig. 5/8).
+    """
+    byte2iid, isets = _canonical_iset_ids(lifetimes)
+    sigs = _enumerate_signatures(array, byte2iid, mode)
+    n_groups = array.n_groups(mode.height, mode.width)
+
+    region_ace_cache: Dict[FrozenSet[int], IntervalSet] = {}
+    region_out_cache: Dict[Tuple[int, FrozenSet[int]], IntervalSet] = {}
+
+    def region_outcome(n_bits: int, ids: FrozenSet[int]) -> IntervalSet:
+        key = (n_bits, ids)
+        cached = region_out_cache.get(key)
+        if cached is not None:
+            return cached
+        ace = region_ace_cache.get(ids)
+        if ace is None:
+            ace = sweep_max([isets[i] for i in ids]) if ids else IntervalSet()
+            region_ace_cache[ids] = ace
+        out = classify_region(
+            scheme.react(n_bits), ace, miscorrect_corrupts=miscorrect_corrupts
+        )
+        region_out_cache[key] = out
+        return out
+
+    outcome_cycles: Dict[Outcome, float] = {
+        Outcome.FALSE_DUE: 0.0,
+        Outcome.TRUE_DUE: 0.0,
+        Outcome.SDC: 0.0,
+    }
+    edges = None
+    series = None
+    if series_edges is not None:
+        edges = np.asarray(series_edges, dtype=np.int64)
+        series = np.zeros((len(edges) - 1, 4), dtype=np.float64)
+
+    group_cache: Dict[GroupSignature, IntervalSet] = {}
+    for sig, weight in sigs.items():
+        combined = group_cache.get(sig)
+        if combined is None:
+            region_sets = [region_outcome(n, ids) for n, ids in sig]
+            combined = combine_outcomes(
+                region_sets, due_preempts_sdc=due_preempts_sdc
+            )
+            group_cache[sig] = combined
+        if not combined:
+            continue
+        for s, e, c in combined:
+            outcome_cycles[Outcome(c)] += weight * (e - s)
+        if series is not None:
+            tmp = np.zeros_like(series)
+            combined.bucket_accumulate(edges, tmp)
+            series += weight * tmp
+
+    return MbAvfResult(
+        structure=lifetimes.name,
+        mode=mode,
+        scheme=scheme.name,
+        n_groups=n_groups,
+        window_cycles=lifetimes.window_cycles,
+        outcome_cycles=outcome_cycles,
+        series_edges=edges,
+        series=series,
+    )
+
+
+def compute_sb_avf(
+    array: SramArray,
+    lifetimes: StructureLifetimes,
+    scheme: ProtectionScheme,
+    *,
+    series_edges: Optional[Sequence[int]] = None,
+) -> MbAvfResult:
+    """Single-bit AVF: MB-AVF of the degenerate 1x1 fault mode."""
+    return compute_mb_avf(
+        array, lifetimes, FaultMode.linear(1), scheme, series_edges=series_edges
+    )
+
+
+def merge_results(results: Sequence[MbAvfResult]) -> MbAvfResult:
+    """Aggregate MB-AVF results over replicated structures.
+
+    Used to combine the per-CU L1 caches, or the per-wavefront register
+    files, into one structure-level AVF: outcome group-cycles and group
+    counts add; all inputs must share the fault mode, scheme and analysis
+    window.
+    """
+    if not results:
+        raise ValueError("nothing to merge")
+    first = results[0]
+    outcome: Dict[Outcome, float] = {}
+    n_groups = 0
+    series = None
+    for r in results:
+        if r.mode != first.mode or r.scheme != first.scheme:
+            raise ValueError("cannot merge results of different configurations")
+        if r.window_cycles != first.window_cycles:
+            raise ValueError("cannot merge results with different windows")
+        n_groups += r.n_groups
+        for o, cyc in r.outcome_cycles.items():
+            outcome[o] = outcome.get(o, 0.0) + cyc
+        if r.series is not None:
+            series = r.series.copy() if series is None else series + r.series
+    return MbAvfResult(
+        structure=first.structure,
+        mode=first.mode,
+        scheme=first.scheme,
+        n_groups=n_groups,
+        window_cycles=first.window_cycles,
+        outcome_cycles=outcome,
+        series_edges=first.series_edges,
+        series=series,
+    )
+
+
+def intersection_duration(a: IntervalSet, b: IntervalSet, klass: int) -> int:
+    """Cycles during which *both* sets are in class >= ``klass``."""
+    ivals_a = [(s, e) for s, e, c in a if c >= klass]
+    ivals_b = [(s, e) for s, e, c in b if c >= klass]
+    total = 0
+    i = j = 0
+    while i < len(ivals_a) and j < len(ivals_b):
+        s = max(ivals_a[i][0], ivals_b[j][0])
+        e = min(ivals_a[i][1], ivals_b[j][1])
+        if s < e:
+            total += e - s
+        if ivals_a[i][1] < ivals_b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def ace_locality(array: SramArray, lifetimes: StructureLifetimes) -> float:
+    """ACE locality: tendency of physically adjacent bits to be ACE together.
+
+    Defined as the aggregate Jaccard overlap of ACE time between horizontally
+    adjacent bit pairs::
+
+        locality = sum_pairs |ACE_i ∩ ACE_j| / sum_pairs |ACE_i ∪ ACE_j|
+
+    1.0 means neighbours are always ACE at exactly the same cycles (the MB-AVF
+    of a fault covering them collapses to the SB-AVF); 0.0 means ACE time
+    never overlaps (MB-AVF approaches M times SB-AVF).  Structures with high
+    ACE locality have lower MB-AVF (Sec. VI-B).
+    """
+    byte2iid, isets = _canonical_iset_ids(lifetimes)
+    iid_of = byte2iid[array.byte_of]
+    pair_counts: Dict[Tuple[int, int], int] = {}
+    for r in range(array.rows):
+        row = iid_of[r]
+        left, right = row[:-1], row[1:]
+        keys = np.stack([left, right], axis=1)
+        uniq, counts = np.unique(keys, axis=0, return_counts=True)
+        for (a, b), n in zip(uniq, counts):
+            pair_counts[(int(a), int(b))] = pair_counts.get((int(a), int(b)), 0) + int(n)
+    inter = 0.0
+    union = 0.0
+    ace = int(AceClass.ACE)
+    for (ia, ib), n in pair_counts.items():
+        da = isets[ia].total_at_least(ace) if ia else 0
+        db = isets[ib].total_at_least(ace) if ib else 0
+        if da == 0 and db == 0:
+            continue
+        ov = intersection_duration(isets[ia], isets[ib], ace) if ia and ib else 0
+        inter += n * ov
+        union += n * (da + db - ov)
+    return inter / union if union else 1.0

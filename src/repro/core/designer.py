@@ -1,0 +1,126 @@
+"""Protection-design exploration: minimise area under an SDC target.
+
+Sec. VIII of the paper frames the architect's problem as "minimize overall
+die area spent on reliability while achieving specified SER targets".  This
+module automates that flow: evaluate a palette of (scheme, interleaving)
+design points against measured MB-AVFs and per-mode raw fault rates, then
+pick the cheapest design meeting the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .analysis import AvfStudy
+from .faultmodes import FaultMode
+from .layout import Interleaving
+from .protection import Parity, ProtectionScheme, SecDed
+from .ser import TABLE_III, soft_error_rate
+
+__all__ = ["DesignPoint", "DesignResult", "evaluate_designs", "choose_design",
+           "VGPR_DESIGN_PALETTE"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate protection design for a structure."""
+
+    label: str
+    scheme: ProtectionScheme
+    style: Interleaving
+    factor: int
+
+    def area_overhead(self, word_bits: int = 32) -> float:
+        return self.scheme.check_bits(word_bits) / word_bits
+
+
+@dataclass(frozen=True)
+class DesignResult:
+    """A design point with its evaluated rates."""
+
+    point: DesignPoint
+    sdc_rate: float
+    due_rate: float
+    area_overhead: float
+
+    @property
+    def label(self) -> str:
+        return self.point.label
+
+
+#: The Sec. VIII palette: parity/SEC-DED x intra(r)/inter(t)-thread x2/x4.
+VGPR_DESIGN_PALETTE: Tuple[DesignPoint, ...] = (
+    DesignPoint("parity rx2", Parity(), Interleaving.INTRA_THREAD, 2),
+    DesignPoint("parity rx4", Parity(), Interleaving.INTRA_THREAD, 4),
+    DesignPoint("parity tx2", Parity(), Interleaving.INTER_THREAD, 2),
+    DesignPoint("parity tx4", Parity(), Interleaving.INTER_THREAD, 4),
+    DesignPoint("secded rx2", SecDed(), Interleaving.INTRA_THREAD, 2),
+    DesignPoint("secded rx4", SecDed(), Interleaving.INTRA_THREAD, 4),
+    DesignPoint("secded tx2", SecDed(), Interleaving.INTER_THREAD, 2),
+    DesignPoint("secded tx4", SecDed(), Interleaving.INTER_THREAD, 4),
+)
+
+
+def _modes_of(fit_by_mode: Mapping[str, float]) -> List[int]:
+    return sorted(int(m.split("x")[0]) for m in fit_by_mode)
+
+
+def evaluate_designs(
+    studies: Sequence[AvfStudy],
+    *,
+    structure: str = "vgpr",
+    designs: Sequence[DesignPoint] = VGPR_DESIGN_PALETTE,
+    fit_by_mode: Mapping[str, float] = TABLE_III,
+    word_bits: int = 32,
+) -> List[DesignResult]:
+    """Measure the SDC/DUE rate of every design point over the workloads.
+
+    Rates are the per-mode raw fault rates weighted by the per-mode MB-AVFs
+    (eq. 3), averaged across the given studies.
+    """
+    results = []
+    for point in designs:
+        sdc = due = 0.0
+        for study in studies:
+            avf_by_mode: Dict[str, Tuple[float, float]] = {}
+            for m in _modes_of(fit_by_mode):
+                if structure == "vgpr":
+                    res = study.vgpr_avf(
+                        FaultMode.linear(m), point.scheme,
+                        style=point.style, factor=point.factor,
+                    )
+                else:
+                    res = study.cache_avf(
+                        structure, FaultMode.linear(m), point.scheme,
+                        style=point.style, factor=point.factor,
+                    )
+                avf_by_mode[f"{m}x1"] = (res.due_avf, res.sdc_avf)
+            ser = soft_error_rate(fit_by_mode, avf_by_mode, structure)
+            sdc += ser.sdc_fit / len(studies)
+            due += ser.due_fit / len(studies)
+        results.append(
+            DesignResult(point, sdc, due, point.area_overhead(word_bits))
+        )
+    return results
+
+
+def choose_design(
+    results: Sequence[DesignResult],
+    *,
+    sdc_target: float,
+    due_target: Optional[float] = None,
+) -> Optional[DesignResult]:
+    """Cheapest design meeting the SDC (and optionally DUE) target.
+
+    Ties on area break toward lower SDC.  Returns None when no candidate
+    meets the targets — the signal to strengthen the palette.
+    """
+    feasible = [
+        r for r in results
+        if r.sdc_rate <= sdc_target
+        and (due_target is None or r.due_rate <= due_target)
+    ]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda r: (r.area_overhead, r.sdc_rate))

@@ -1,0 +1,80 @@
+"""Fault modes: spatial multi-bit fault geometries (Sec. IV-A).
+
+A *fault mode* is a specific pattern of flipped bits, expressed as a set of
+(row, column) offsets in the physical bit array of a structure.  A *fault
+group* is one concrete placement of the pattern; every placement that fits
+inside the array is a distinct group.  The most common modes in SRAM — and
+the ones the paper's evaluation uses throughout — are contiguous ``Mx1``
+faults along a wordline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FaultMode", "MX1_MODES"]
+
+
+@dataclass(frozen=True)
+class FaultMode:
+    """A multi-bit fault geometry.
+
+    ``offsets`` are (row, col) displacements from the group origin; they must
+    be unique and include (0, 0) after normalisation.  Use the constructors
+    :meth:`linear` and :meth:`rect` for the common patterns.
+    """
+
+    name: str
+    offsets: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.offsets:
+            raise ValueError("a fault mode needs at least one bit")
+        if len(set(self.offsets)) != len(self.offsets):
+            raise ValueError("duplicate offsets in fault mode")
+        min_r = min(r for r, _ in self.offsets)
+        min_c = min(c for _, c in self.offsets)
+        if (min_r, min_c) != (0, 0):
+            norm = tuple(sorted((r - min_r, c - min_c) for r, c in self.offsets))
+            object.__setattr__(self, "offsets", norm)
+        else:
+            object.__setattr__(self, "offsets", tuple(sorted(self.offsets)))
+
+    @classmethod
+    def linear(cls, m: int) -> "FaultMode":
+        """Contiguous ``Mx1`` fault along a wordline."""
+        if m < 1:
+            raise ValueError("fault mode needs at least one bit")
+        return cls(f"{m}x1", tuple((0, c) for c in range(m)))
+
+    @classmethod
+    def rect(cls, height: int, width: int) -> "FaultMode":
+        """Rectangular ``HxW`` fault spanning adjacent wordlines."""
+        if height < 1 or width < 1:
+            raise ValueError("fault mode dimensions must be positive")
+        return cls(
+            f"{width}x{height}",
+            tuple((r, c) for r in range(height) for c in range(width)),
+        )
+
+    @property
+    def n_bits(self) -> int:
+        """Number of bits flipped by a fault of this mode."""
+        return len(self.offsets)
+
+    @property
+    def height(self) -> int:
+        return 1 + max(r for r, _ in self.offsets)
+
+    @property
+    def width(self) -> int:
+        return 1 + max(c for _, c in self.offsets)
+
+    def is_linear(self) -> bool:
+        """True for contiguous 1-row modes (the common SRAM wordline case)."""
+        return self.offsets == tuple((0, c) for c in range(self.n_bits))
+
+
+#: The contiguous wordline modes evaluated in the paper (1x1 through 8x1).
+MX1_MODES: Tuple[FaultMode, ...] = tuple(FaultMode.linear(m) for m in range(1, 9))

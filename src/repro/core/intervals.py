@@ -1,0 +1,336 @@
+"""Classed cycle-interval algebra underpinning all AVF computations.
+
+ACE analysis reduces to bookkeeping over half-open cycle intervals
+``[start, end)`` tagged with an :class:`AceClass`.  Every bit (in practice,
+every tracked byte) of a hardware structure owns one :class:`IntervalSet`
+describing when its content is required for architecturally correct
+execution.  Multi-bit AVF analysis then combines the interval sets of the
+bits inside a fault group (the union of ACEness, eq. 5 of the paper) and
+classifies the result according to the protection scheme's reaction.
+
+Time units are abstract "cycles" (any monotonically increasing simulator
+timestamp works).  All intervals are half-open and use integer endpoints.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "AceClass",
+    "Outcome",
+    "IntervalSet",
+    "sweep_max",
+    "combine_outcomes",
+]
+
+
+class AceClass(IntEnum):
+    """Classification of a bit's content during a cycle interval.
+
+    The ordering is a severity precedence: when several classes apply to the
+    same instant (e.g. when taking the union over a fault group), the highest
+    value wins.
+    """
+
+    #: Content is never consumed: a fault here is architecturally invisible.
+    UNACE = 0
+    #: Content is consumed, but only by dynamically-dead reads.  An error
+    #: detector that fires on such a read raises a *false* DUE; an undetected
+    #: fault here is still masked.
+    READ_DEAD = 1
+    #: Content is required for architecturally correct execution.  A fault is
+    #: an error: SDC if undetected, true DUE if detected but uncorrected.
+    ACE = 2
+
+
+class Outcome(IntEnum):
+    """Final classification of a fault (group) occurring at some cycle.
+
+    The ordering is the precedence from Sec. VII-B of the paper:
+    SDC > true DUE > false DUE > unACE.
+    """
+
+    UNACE = 0
+    FALSE_DUE = 1
+    TRUE_DUE = 2
+    SDC = 3
+
+
+Interval = Tuple[int, int, int]  # (start, end, cls)
+
+
+class IntervalSet:
+    """A sorted, coalesced set of non-overlapping classed intervals.
+
+    Class ``0`` (:attr:`AceClass.UNACE` / :attr:`Outcome.UNACE`) is implicit:
+    intervals with class 0 are never stored.  The same container is used both
+    for :class:`AceClass`-tagged lifetimes and :class:`Outcome`-tagged fault
+    classifications; the class is just a small non-negative integer.
+    """
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        ivals = sorted((int(s), int(e), int(c)) for s, e, c in intervals)
+        self._ivals: List[Interval] = []
+        for s, e, c in ivals:
+            if e <= s:
+                raise ValueError(f"empty or inverted interval [{s}, {e})")
+            if c < 0:
+                raise ValueError(f"negative class {c}")
+            if c == 0:
+                continue
+            if self._ivals and s < self._ivals[-1][1]:
+                raise ValueError("overlapping intervals; use sweep_max to merge")
+            if self._ivals and self._ivals[-1][1] == s and self._ivals[-1][2] == c:
+                ps, _, pc = self._ivals[-1]
+                self._ivals[-1] = (ps, e, pc)
+            else:
+                self._ivals.append((s, e, c))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def _from_sorted(cls, ivals: List[Interval]) -> "IntervalSet":
+        """Trusted constructor for already sorted/coalesced/nonzero input."""
+        obj = cls.__new__(cls)
+        obj._ivals = ivals
+        return obj
+
+    def append(self, start: int, end: int, klass: int) -> None:
+        """Append an interval that begins at or after every stored interval.
+
+        This is the fast path used by lifetime trackers, which emit intervals
+        in increasing time order.  Class-0 appends are ignored; adjacent
+        same-class intervals are coalesced.
+        """
+        if end <= start or klass == 0:
+            return
+        if self._ivals:
+            ps, pe, pc = self._ivals[-1]
+            if start < pe:
+                raise ValueError(
+                    f"append out of order: [{start},{end}) begins before {pe}"
+                )
+            if pe == start and pc == klass:
+                self._ivals[-1] = (ps, end, pc)
+                return
+        self._ivals.append((start, end, klass))
+
+    # -- queries -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivals)
+
+    def __len__(self) -> int:
+        return len(self._ivals)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivals == other._ivals
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ivals))
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self._ivals!r})"
+
+    def intervals(self) -> List[Interval]:
+        """Return the stored intervals as a list of ``(start, end, cls)``."""
+        return list(self._ivals)
+
+    def total(self, klass: int) -> int:
+        """Total cycles spent exactly in class ``klass`` (0 not queryable)."""
+        if klass == 0:
+            raise ValueError("class 0 is implicit; its duration is unbounded")
+        return sum(e - s for s, e, c in self._ivals if c == klass)
+
+    def total_at_least(self, klass: int) -> int:
+        """Total cycles spent in class ``klass`` or any higher class."""
+        return sum(e - s for s, e, c in self._ivals if c >= klass)
+
+    def durations(self, nclasses: int) -> List[int]:
+        """Per-class durations, index = class.  Index 0 is always 0."""
+        out = [0] * nclasses
+        for s, e, c in self._ivals:
+            out[c] += e - s
+        return out
+
+    def class_at(self, cycle: int) -> int:
+        """The class in effect at ``cycle`` (0 if no interval covers it)."""
+        import bisect
+
+        idx = bisect.bisect_right(self._ivals, (cycle, float("inf"), 0)) - 1
+        if idx >= 0:
+            s, e, c = self._ivals[idx]
+            if s <= cycle < e:
+                return c
+        return 0
+
+    def span(self) -> Tuple[int, int]:
+        """``(min start, max end)`` over stored intervals; (0, 0) if empty."""
+        if not self._ivals:
+            return (0, 0)
+        return (self._ivals[0][0], self._ivals[-1][1])
+
+    # -- transforms --------------------------------------------------------
+
+    def clip(self, start: int, end: int) -> "IntervalSet":
+        """Restrict to the window ``[start, end)``."""
+        out: List[Interval] = []
+        for s, e, c in self._ivals:
+            s2, e2 = max(s, start), min(e, end)
+            if s2 < e2:
+                out.append((s2, e2, c))
+        return IntervalSet._from_sorted(out)
+
+    def map_class(self, fn: Callable[[int], int]) -> "IntervalSet":
+        """Remap classes through ``fn``; class-0 results are dropped."""
+        out: List[Interval] = []
+        for s, e, c in self._ivals:
+            c2 = fn(c)
+            if c2 == 0:
+                continue
+            if out and out[-1][1] == s and out[-1][2] == c2:
+                ps, _, pc = out[-1]
+                out[-1] = (ps, e, pc)
+            else:
+                out.append((s, e, c2))
+        return IntervalSet._from_sorted(out)
+
+    def bucket_accumulate(self, edges: Sequence[int], out) -> None:
+        """Accumulate per-class durations into time buckets.
+
+        ``edges`` are ``B+1`` increasing bucket boundaries; ``out`` is an
+        indexable of shape ``(B, nclasses)`` (e.g. a numpy array) that is
+        incremented in place with the overlap of every interval with every
+        bucket.
+        """
+        import bisect
+
+        nb = len(edges) - 1
+        for s, e, c in self._ivals:
+            lo = bisect.bisect_right(edges, s) - 1
+            lo = max(lo, 0)
+            for b in range(lo, nb):
+                bs, be = edges[b], edges[b + 1]
+                if bs >= e:
+                    break
+                ov = min(e, be) - max(s, bs)
+                if ov > 0:
+                    out[b][c] += ov
+
+
+def sweep_max(sets: Sequence[IntervalSet]) -> IntervalSet:
+    """Pointwise maximum-class union of interval sets (eq. 5).
+
+    At every instant the resulting class is the maximum class among all
+    inputs covering that instant.  This realises "a fault group is ACE if any
+    of its bits is ACE" and, with :class:`AceClass` severity ordering,
+    propagates the strongest consequence.
+    """
+    live = [s for s in sets if s]
+    if not live:
+        return IntervalSet()
+    if len(live) == 1:
+        return IntervalSet._from_sorted(list(live[0]._ivals))
+    events: List[Tuple[int, int, int]] = []  # (cycle, delta, cls)
+    maxcls = 0
+    for iset in live:
+        for s, e, c in iset._ivals:
+            events.append((s, +1, c))
+            events.append((e, -1, c))
+            if c > maxcls:
+                maxcls = c
+    events.sort()
+    counts = [0] * (maxcls + 1)
+    out: List[Interval] = []
+    cur_cls = 0
+    cur_start = 0
+    i, n = 0, len(events)
+    while i < n:
+        cyc = events[i][0]
+        while i < n and events[i][0] == cyc:
+            _, d, c = events[i]
+            counts[c] += d
+            i += 1
+        new_cls = 0
+        for c in range(maxcls, 0, -1):
+            if counts[c] > 0:
+                new_cls = c
+                break
+        if new_cls != cur_cls:
+            if cur_cls != 0 and cyc > cur_start:
+                if out and out[-1][1] == cur_start and out[-1][2] == cur_cls:
+                    ps, _, pc = out[-1]
+                    out[-1] = (ps, cyc, pc)
+                else:
+                    out.append((cur_start, cyc, cur_cls))
+            cur_start = cyc
+            cur_cls = new_cls
+    return IntervalSet._from_sorted(out)
+
+
+def combine_outcomes(
+    sets: Sequence[IntervalSet], *, due_preempts_sdc: bool = False
+) -> IntervalSet:
+    """Combine per-region :class:`Outcome` interval sets into a group outcome.
+
+    Default precedence is SDC > true DUE > false DUE > unACE (Sec. VII-B):
+    when a cache line with an SDC-bound region coexists with a detected
+    region, detection cannot be guaranteed to precede SDC propagation.
+
+    With ``due_preempts_sdc=True`` the Sec. VIII rule applies instead: the
+    structure is read as one unit (e.g. 16 GPU threads reading the VGPR row
+    simultaneously), so a detected region fires *before* the undetected
+    region's data can propagate — simultaneous SDC + DUE becomes a true DUE.
+    """
+    if not due_preempts_sdc:
+        return sweep_max(sets)
+    merged = sweep_max(sets)
+    if not merged:
+        return merged
+    # Recompute instants where SDC coexists with a DUE region.
+    due_times = sweep_max(
+        [
+            s.map_class(lambda c: 1 if c in (Outcome.TRUE_DUE, Outcome.FALSE_DUE) else 0)
+            for s in sets
+        ]
+    )
+    if not due_times:
+        return merged
+    out: List[Interval] = []
+
+    def emit(s: int, e: int, c: int) -> None:
+        if out and out[-1][1] == s and out[-1][2] == c:
+            ps, _, pc = out[-1]
+            out[-1] = (ps, e, pc)
+        else:
+            out.append((s, e, c))
+
+    due_ivals = due_times.intervals()
+    for s, e, c in merged:
+        if c != Outcome.SDC:
+            emit(s, e, c)
+            continue
+        # Split the SDC interval against the DUE coverage.
+        cur = s
+        for ds, de, _ in due_ivals:
+            if de <= cur or ds >= e:
+                continue
+            if ds > cur:
+                emit(cur, ds, int(Outcome.SDC))
+            ov_end = min(de, e)
+            emit(max(ds, cur), ov_end, int(Outcome.TRUE_DUE))
+            cur = ov_end
+            if cur >= e:
+                break
+        if cur < e:
+            emit(cur, e, int(Outcome.SDC))
+    return IntervalSet._from_sorted(out)

@@ -1,0 +1,117 @@
+"""Configuration sweeps: measure a grid of AVFs in one call.
+
+The experiments repeatedly measure (fault mode x protection scheme x
+interleaving) grids; this utility packages that loop with caching-friendly
+iteration order and a flat, easily-tabulated result form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .analysis import AvfStudy
+from .avf import MbAvfResult
+from .faultmodes import FaultMode
+from .layout import Interleaving
+from .protection import ProtectionScheme
+
+__all__ = ["SweepPoint", "sweep_cache_avf", "sweep_vgpr_avf", "tabulate"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured configuration of a sweep."""
+
+    structure: str
+    mode: str
+    scheme: str
+    style: str
+    factor: int
+    due_avf: float
+    sdc_avf: float
+    true_due_avf: float
+    false_due_avf: float
+
+    @classmethod
+    def from_result(
+        cls, structure: str, style: Interleaving, factor: int, res: MbAvfResult
+    ) -> "SweepPoint":
+        return cls(
+            structure=structure,
+            mode=res.mode.name,
+            scheme=res.scheme,
+            style=style.value,
+            factor=factor,
+            due_avf=res.due_avf,
+            sdc_avf=res.sdc_avf,
+            true_due_avf=res.true_due_avf,
+            false_due_avf=res.false_due_avf,
+        )
+
+
+def sweep_cache_avf(
+    study: AvfStudy,
+    level: str,
+    *,
+    modes: Iterable[FaultMode],
+    schemes: Iterable[ProtectionScheme],
+    layouts: Iterable[Tuple[Interleaving, int]] = ((Interleaving.NONE, 1),),
+    domain_bytes: int = 4,
+) -> List[SweepPoint]:
+    """Measure every (mode, scheme, layout) combination on a cache level."""
+    points = []
+    for style, factor in layouts:
+        for scheme in schemes:
+            for mode in modes:
+                res = study.cache_avf(
+                    level, mode, scheme,
+                    style=style, factor=factor, domain_bytes=domain_bytes,
+                )
+                points.append(SweepPoint.from_result(level, style, factor, res))
+    return points
+
+
+def sweep_vgpr_avf(
+    study: AvfStudy,
+    *,
+    modes: Iterable[FaultMode],
+    schemes: Iterable[ProtectionScheme],
+    layouts: Iterable[Tuple[Interleaving, int]] = (
+        (Interleaving.INTRA_THREAD, 1),
+    ),
+) -> List[SweepPoint]:
+    """Measure every (mode, scheme, layout) combination on the VGPR."""
+    points = []
+    for style, factor in layouts:
+        for scheme in schemes:
+            for mode in modes:
+                res = study.vgpr_avf(mode, scheme, style=style, factor=factor)
+                points.append(SweepPoint.from_result("vgpr", style, factor, res))
+    return points
+
+
+def tabulate(
+    points: Sequence[SweepPoint],
+    *,
+    value: str = "due_avf",
+    rows: str = "mode",
+    cols: str = "scheme",
+) -> Tuple[List[str], List[str], Dict[Tuple[str, str], float]]:
+    """Pivot a sweep into (row labels, column labels, cell values).
+
+    ``rows``/``cols`` name SweepPoint fields; cells hold the chosen value
+    (the last point wins if several share a cell).
+    """
+    row_labels: List[str] = []
+    col_labels: List[str] = []
+    cells: Dict[Tuple[str, str], float] = {}
+    for p in points:
+        r = str(getattr(p, rows))
+        c = str(getattr(p, cols))
+        if r not in row_labels:
+            row_labels.append(r)
+        if c not in col_labels:
+            col_labels.append(c)
+        cells[(r, c)] = getattr(p, value)
+    return row_labels, col_labels, cells

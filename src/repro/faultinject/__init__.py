@@ -1,0 +1,20 @@
+"""Fault-injection framework (the paper's multi2sim-based study analogue)."""
+
+from .campaign import (
+    BenchmarkCampaign,
+    InjectionOutcome,
+    InjectionSpec,
+    ace_interference_study,
+    run_campaign,
+)
+from .validation import ValidationResult, validate_memory_avf
+
+__all__ = [
+    "BenchmarkCampaign",
+    "InjectionOutcome",
+    "InjectionSpec",
+    "ace_interference_study",
+    "run_campaign",
+    "ValidationResult",
+    "validate_memory_avf",
+]

@@ -1,0 +1,53 @@
+"""Shared code-generation helpers for workload kernels.
+
+Register conventions inside kernels built with these helpers:
+
+* ``v0`` global thread id, ``v1`` lane id (preset by the launcher);
+* ``v14``/``v15`` are scratch used by the address helpers;
+* kernel arguments start at ``s2``.
+"""
+
+from __future__ import annotations
+
+from ..arch.isa import Operand, ProgramBuilder, imm, v
+
+__all__ = ["addr_of_tid", "addr_of", "scaled_addr"]
+
+
+def addr_of_tid(
+    p: ProgramBuilder, base: Operand, dst: Operand = v(14), shift: int = 2
+) -> Operand:
+    """dst = base + (tid << shift): the address of this thread's element."""
+    p.shl(dst, v(0), imm(shift))
+    p.iadd(dst, dst, base)
+    return dst
+
+
+def addr_of(
+    p: ProgramBuilder,
+    base: Operand,
+    index: Operand,
+    dst: Operand = v(14),
+    shift: int = 2,
+) -> Operand:
+    """dst = base + (index << shift)."""
+    p.shl(dst, index, imm(shift))
+    p.iadd(dst, dst, base)
+    return dst
+
+
+def scaled_addr(
+    p: ProgramBuilder,
+    base: Operand,
+    row: Operand,
+    col: Operand,
+    row_stride_log2: int,
+    dst: Operand = v(14),
+    shift: int = 2,
+) -> Operand:
+    """dst = base + ((row << row_stride_log2) + col) << shift."""
+    p.shl(dst, row, imm(row_stride_log2))
+    p.iadd(dst, dst, col)
+    p.shl(dst, dst, imm(shift))
+    p.iadd(dst, dst, base)
+    return dst

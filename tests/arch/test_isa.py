@@ -1,0 +1,123 @@
+"""Unit tests for the ISA definitions and the program builder."""
+
+import struct
+
+import pytest
+
+from repro.arch.isa import (
+    CMP_CONDS,
+    MEM_OPS,
+    SCALAR_OPS,
+    VECTOR_OPS,
+    Instr,
+    Program,
+    ProgramBuilder,
+    fimm,
+    imm,
+    s,
+    v,
+)
+
+
+class TestOperands:
+    def test_constructors(self):
+        assert v(3) == ("v", 3)
+        assert s(2) == ("s", 2)
+        assert imm(7) == ("imm", 7)
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            v(-1)
+        with pytest.raises(ValueError):
+            s(-2)
+
+    def test_fimm_is_float32_bits(self):
+        bits = fimm(1.5)[1]
+        assert struct.unpack("<f", struct.pack("<I", bits))[0] == 1.5
+
+    def test_imm_truncates_to_int(self):
+        assert imm(3.9) == ("imm", 3)
+
+
+class TestInstr:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Instr("v_frobnicate")
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(ValueError):
+            Instr("v_cmp", srcs=(v(0), v(1)), cond="spaceship")
+
+    def test_conditions(self):
+        assert set(CMP_CONDS) == {"lt", "le", "eq", "ne", "gt", "ge"}
+
+    def test_op_classes_disjoint(self):
+        assert not (VECTOR_OPS & MEM_OPS)
+        assert not (VECTOR_OPS & SCALAR_OPS)
+        assert not (SCALAR_OPS & MEM_OPS)
+
+
+class TestProgramBuilder:
+    def test_implicit_endpgm(self):
+        p = ProgramBuilder()
+        p.mov(v(2), imm(1))
+        prog = p.build()
+        assert prog.instrs[-1].op == "s_endpgm"
+        assert len(prog) == 2
+
+    def test_explicit_endpgm_not_duplicated(self):
+        p = ProgramBuilder()
+        p.endpgm()
+        assert len(p.build()) == 1
+
+    def test_register_counts_track_usage(self):
+        p = ProgramBuilder()
+        p.mov(v(9), imm(1))
+        p.s_mov(s(5), imm(2))
+        prog = p.build()
+        assert prog.n_vregs == 10
+        assert prog.n_sregs == 6
+
+    def test_minimum_registers_for_presets(self):
+        prog = ProgramBuilder().build()
+        assert prog.n_vregs >= 2  # v0 (tid) and v1 (lane) are preset
+        assert prog.n_sregs >= 2  # s0 (group) and s1 (wavefront)
+
+    def test_labels_resolve(self):
+        p = ProgramBuilder()
+        p.label("top")
+        p.mov(v(2), imm(0))
+        p.branch("top")
+        prog = p.build()
+        assert prog.target_pc("top") == 0
+
+    def test_undefined_label_rejected(self):
+        p = ProgramBuilder()
+        p.branch("nowhere")
+        with pytest.raises(ValueError):
+            p.build()
+
+    def test_duplicate_label_rejected(self):
+        p = ProgramBuilder()
+        p.label("x")
+        with pytest.raises(ValueError):
+            p.label("x")
+
+    def test_fmac_reads_destination(self):
+        p = ProgramBuilder()
+        p.fmac(v(5), v(2), v(3))
+        ins = p.build().instrs[0]
+        assert ins.srcs == (v(2), v(3), v(5))
+
+    def test_store_sources(self):
+        p = ProgramBuilder()
+        p.store(v(7), v(8), offset=12, pred=True)
+        ins = p.build().instrs[0]
+        assert ins.srcs == (v(7), v(8))
+        assert ins.offset == 12
+        assert ins.predicated
+        assert ins.dst is None
+
+    def test_chaining(self):
+        p = ProgramBuilder()
+        assert p.mov(v(2), imm(0)).iadd(v(2), v(2), imm(1)) is p

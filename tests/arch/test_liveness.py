@@ -1,0 +1,208 @@
+"""Tests for dynamic-dead-instruction and logic-masking analysis."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v
+from repro.arch.liveness import analyze_liveness
+
+
+def _analyze(program, n_threads, args, mem, outputs):
+    apu = Apu(memory=mem, n_cus=1)
+    apu.launch(program, n_threads, args)
+    apu.finish()
+    ranges = [mem.buffer(o) for o in outputs]
+    analyze_liveness(
+        apu.records,
+        {w: p.n_vregs for w, p in apu.wf_programs.items()},
+        mem.size,
+        ranges,
+        lds_size=apu.lds_bytes,
+    )
+    return apu.records
+
+
+def _recs_of(records, op):
+    return [r for r in records if r.op == op]
+
+
+class TestDeadCode:
+    def test_unused_value_is_dead(self):
+        mem = GlobalMemory()
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.imul(v(2), v(0), imm(3))     # used
+        p.imul(v(3), v(0), imm(5))     # never used -> dead
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(9), v(9), s(2))
+        p.store(v(2), v(9))
+        recs = _analyze(p.build(), 16, [out], mem, ["out"])
+        muls = _recs_of(recs, "v_mul")
+        assert muls[0].live
+        assert not muls[1].live
+
+    def test_transitively_dead_chain(self):
+        mem = GlobalMemory()
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.imul(v(2), v(0), imm(3))     # feeds v3
+        p.iadd(v(3), v(2), imm(1))     # feeds v4
+        p.ixor(v(4), v(3), imm(7))     # never used
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(9), v(9), s(2))
+        p.store(imm(1), v(9))
+        recs = _analyze(p.build(), 16, [out], mem, ["out"])
+        assert not _recs_of(recs, "v_mul")[0].live
+        assert not _recs_of(recs, "v_xor")[0].live
+
+    def test_store_to_scratch_buffer_is_dead(self):
+        mem = GlobalMemory()
+        scratch = mem.alloc("scratch", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(8), v(9), s(2))       # &scratch
+        p.store(imm(5), v(8))          # written, never read -> dead
+        p.iadd(v(9), v(9), s(3))       # &out
+        p.store(imm(6), v(9))
+        recs = _analyze(p.build(), 16, [scratch, out], mem, ["out"])
+        stores = _recs_of(recs, "v_store")
+        assert not stores[0].live
+        assert stores[1].live
+        assert (stores[1].mem_needed[stores[1].acc_mask] != 0).all()
+
+    def test_overwritten_store_is_dead(self):
+        mem = GlobalMemory()
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(9), v(9), s(2))
+        p.store(imm(1), v(9))          # overwritten before any read -> dead
+        p.store(imm(2), v(9))
+        recs = _analyze(p.build(), 16, [out], mem, ["out"])
+        stores = _recs_of(recs, "v_store")
+        assert not stores[0].live
+        assert stores[1].live
+
+    def test_load_feeding_output_is_live(self):
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(8), v(9), s(2))
+        p.load(v(2), v(8))
+        p.iadd(v(9), v(9), s(3))
+        p.store(v(2), v(9))
+        recs = _analyze(p.build(), 16, [inp, out], mem, ["out"])
+        ld = _recs_of(recs, "v_load")[0]
+        assert ld.live
+        assert (ld.load_needed[ld.acc_mask] == 0xFFFFFFFF).all()
+
+
+class TestLogicMasking:
+    def _masked_load(self, body, out_bytes=64):
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", out_bytes)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(8), v(9), s(2))
+        p.load(v(2), v(8))
+        body(p)
+        p.iadd(v(9), v(9), s(3))
+        p.store(v(3), v(9))
+        recs = _analyze(p.build(), 16, [inp, out], mem, ["out"])
+        return _recs_of(recs, "v_load")[0]
+
+    def test_and_masks_bits(self):
+        ld = self._masked_load(lambda p: p.iand(v(3), v(2), imm(0xFF)))
+        assert (ld.load_needed[ld.acc_mask] == 0xFF).all()
+
+    def test_or_masks_set_bits(self):
+        ld = self._masked_load(lambda p: p.ior(v(3), v(2), imm(0xFFFF0000)))
+        assert (ld.load_needed[ld.acc_mask] == 0x0000FFFF).all()
+
+    def test_shr_shifts_needed_bits(self):
+        # v3 = (v2 >> 16) & 0xFF needs bits 16..23 of v2.
+        def body(p):
+            p.shr(v(3), v(2), imm(16))
+            p.iand(v(3), v(3), imm(0xFF))
+
+        ld = self._masked_load(body)
+        assert (ld.load_needed[ld.acc_mask] == 0x00FF0000).all()
+
+    def test_byte_store_needs_low_byte(self):
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(8), v(9), s(2))
+        p.load(v(2), v(8))
+        p.iadd(v(9), v(0), s(3))
+        p.store_u8(v(2), v(9))
+        recs = _analyze(p.build(), 16, [inp, out], mem, ["out"])
+        ld = _recs_of(recs, "v_load")[0]
+        assert (ld.load_needed[ld.acc_mask] == 0xFF).all()
+
+    def test_cmp_needs_everything(self):
+        def body(p):
+            p.cmp("lt", v(2), imm(100))
+            p.cndmask(v(3), imm(1), imm(0))
+
+        ld = self._masked_load(body)
+        assert (ld.load_needed[ld.acc_mask] == 0xFFFFFFFF).all()
+
+    def test_cndmask_uses_snapshot(self):
+        """Only the taken side of a select keeps its producer live."""
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(8), v(9), s(2))
+        p.load(v(2), v(8))
+        p.imul(v(4), v(0), imm(9))
+        p.cmp("lt", v(0), imm(16))     # uniformly true -> v2 side taken
+        p.cndmask(v(3), v(2), v(4))
+        p.iadd(v(9), v(9), s(3))
+        p.store(v(3), v(9))
+        recs = _analyze(p.build(), 16, [inp, out], mem, ["out"])
+        assert _recs_of(recs, "v_load")[0].live
+        assert not _recs_of(recs, "v_mul")[0].live  # untaken side is dead
+
+
+class TestLdsLiveness:
+    def test_value_through_lds_stays_live(self):
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(8), v(9), s(2))
+        p.load(v(2), v(8))
+        p.shl(v(7), v(1), imm(2))
+        p.lds_store(v(2), v(7))
+        p.lds_load(v(3), v(7))
+        p.iadd(v(9), v(9), s(3))
+        p.store(v(3), v(9))
+        recs = _analyze(p.build(), 16, [inp, out], mem, ["out"])
+        assert _recs_of(recs, "v_load")[0].live
+        assert _recs_of(recs, "lds_store")[0].live
+
+    def test_unread_lds_store_is_dead(self):
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.shl(v(9), v(0), imm(2))
+        p.iadd(v(8), v(9), s(2))
+        p.load(v(2), v(8))
+        p.shl(v(7), v(1), imm(2))
+        p.lds_store(v(2), v(7))        # never loaded back
+        p.iadd(v(9), v(9), s(3))
+        p.store(imm(4), v(9))
+        recs = _analyze(p.build(), 16, [inp, out], mem, ["out"])
+        assert not _recs_of(recs, "lds_store")[0].live
+        assert not _recs_of(recs, "v_load")[0].live

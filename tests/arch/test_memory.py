@@ -1,0 +1,103 @@
+"""Unit tests for global memory, the allocator, and LDS scratch."""
+
+import numpy as np
+import pytest
+
+from repro.arch.memory import GlobalMemory, Lds
+
+
+class TestAllocator:
+    def test_alignment(self):
+        mem = GlobalMemory()
+        a = mem.alloc("a", 10, align=64)
+        b = mem.alloc("b", 10, align=64)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 10
+
+    def test_address_zero_reserved(self):
+        mem = GlobalMemory()
+        assert mem.alloc("a", 4) >= 64
+
+    def test_out_of_memory(self):
+        mem = GlobalMemory(size=1024)
+        with pytest.raises(MemoryError):
+            mem.alloc("big", 10_000)
+
+    def test_buffer_lookup(self):
+        mem = GlobalMemory()
+        base = mem.alloc("x", 128)
+        assert mem.buffer("x") == (base, 128)
+        assert mem.buffer_range("x") == range(base, base + 128)
+        with pytest.raises(KeyError):
+            mem.buffer("nope")
+
+
+class TestTypedViews:
+    def test_views_share_storage(self):
+        mem = GlobalMemory()
+        mem.alloc("x", 16)
+        mem.view_u32("x")[:] = [1, 2, 3, 4]
+        assert mem.view_i32("x").tolist() == [1, 2, 3, 4]
+        mem.view_f32("x")[0] = 1.5
+        assert mem.view_u32("x")[0] == np.float32(1.5).view(np.uint32)
+
+    def test_u8_view(self):
+        mem = GlobalMemory()
+        mem.alloc("x", 4)
+        mem.view_u32("x")[0] = 0x04030201
+        assert mem.view_u8("x").tolist() == [1, 2, 3, 4]  # little-endian
+
+
+class TestVectorAccess:
+    def test_load_store_roundtrip(self):
+        mem = GlobalMemory()
+        base = mem.alloc("x", 64)
+        addrs = np.array([base, base + 8, base + 60], dtype=np.uint32)
+        vals = np.array([10, 20, 0xFFFFFFFF], dtype=np.uint32)
+        mem.store32(addrs, vals)
+        assert (mem.load32(addrs) == vals).all()
+
+    def test_unaligned_rejected(self):
+        mem = GlobalMemory()
+        base = mem.alloc("x", 64)
+        with pytest.raises(ValueError):
+            mem.load32(np.array([base + 1], dtype=np.uint32))
+        with pytest.raises(ValueError):
+            mem.store32(np.array([base + 2], dtype=np.uint32),
+                        np.array([1], dtype=np.uint32))
+
+    def test_out_of_bounds_rejected(self):
+        mem = GlobalMemory(size=1024)
+        bad = np.array([1024 - 2], dtype=np.uint32)
+        with pytest.raises(MemoryError):
+            mem.load32(bad + 2)
+        with pytest.raises(MemoryError):
+            mem.store8(np.array([1024], dtype=np.uint32),
+                       np.array([1], dtype=np.uint32))
+
+    def test_byte_access(self):
+        mem = GlobalMemory()
+        base = mem.alloc("x", 16)
+        addrs = np.array([base + 3, base + 5], dtype=np.uint32)
+        mem.store8(addrs, np.array([0x1FF, 7], dtype=np.uint32))
+        got = mem.load8(addrs)
+        assert got.tolist() == [0xFF, 7]  # stores truncate to a byte
+        assert got.dtype == np.uint32  # loads zero-extend
+
+
+class TestLds:
+    def test_roundtrip(self):
+        lds = Lds(256)
+        addrs = np.array([0, 4, 252], dtype=np.uint32)
+        vals = np.array([1, 2, 3], dtype=np.uint32)
+        lds.store32(addrs, vals)
+        assert (lds.load32(addrs) == vals).all()
+
+    def test_unaligned_rejected(self):
+        lds = Lds(256)
+        with pytest.raises(ValueError):
+            lds.load32(np.array([2], dtype=np.uint32))
+
+    def test_zero_initialised(self):
+        lds = Lds(64)
+        assert (lds.load32(np.array([0, 4], dtype=np.uint32)) == 0).all()

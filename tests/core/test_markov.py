@@ -1,0 +1,109 @@
+"""Tests for the MACAU-style Markov-chain MTTF model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.markov import WordMarkovModel, cache_mttf_hours, word_mttf_hours
+from repro.core.mttf import HOURS_PER_YEAR
+from repro.core.protection import DecTed, NoProtection, Parity, SecDed
+
+
+class TestWordModel:
+    def test_unprotected_word_is_exponential(self):
+        # c=0: fails at the first strike; MTTF = 1/lambda exactly.
+        m = WordMarkovModel(word_bits=32, correctable=0, raw_fit_per_mbit=100.0)
+        assert m.mttf_hours() == pytest.approx(1.0 / m.sbf_rate_per_hour)
+
+    def test_secded_two_strike_mttf(self):
+        # c=1, no scrub: absorption needs two strikes; MTTF = 2/lambda.
+        m = WordMarkovModel(word_bits=32, correctable=1, raw_fit_per_mbit=100.0)
+        assert m.mttf_hours() == pytest.approx(2.0 / m.sbf_rate_per_hour)
+
+    def test_correction_extends_life(self):
+        kw = dict(word_bits=32, raw_fit_per_mbit=10.0)
+        m0 = WordMarkovModel(correctable=0, **kw).mttf_hours()
+        m1 = WordMarkovModel(correctable=1, **kw).mttf_hours()
+        m2 = WordMarkovModel(correctable=2, **kw).mttf_hours()
+        assert m0 < m1 < m2
+
+    def test_scrubbing_extends_life(self):
+        kw = dict(word_bits=32, correctable=1, raw_fit_per_mbit=10.0)
+        never = WordMarkovModel(**kw).mttf_hours()
+        yearly = WordMarkovModel(
+            scrub_interval_hours=HOURS_PER_YEAR, **kw
+        ).mttf_hours()
+        hourly = WordMarkovModel(scrub_interval_hours=1.0, **kw).mttf_hours()
+        assert never < yearly < hourly
+
+    def test_scrubbing_useless_without_correction(self):
+        kw = dict(word_bits=32, correctable=0, raw_fit_per_mbit=10.0)
+        never = WordMarkovModel(**kw).mttf_hours()
+        scrubbed = WordMarkovModel(scrub_interval_hours=1.0, **kw).mttf_hours()
+        assert scrubbed == pytest.approx(never)
+
+    def test_smbf_defeat_dominates(self):
+        # A defeating spatial-MBF rate bounds MTTF regardless of correction.
+        m = WordMarkovModel(
+            word_bits=32, correctable=2, raw_fit_per_mbit=0.001,
+            smbf_defeat_fit=1000.0,
+        )
+        assert m.mttf_hours() == pytest.approx(1e9 / 1000.0, rel=0.01)
+
+    def test_zero_rates_give_infinite_mttf(self):
+        m = WordMarkovModel(word_bits=32, correctable=1, raw_fit_per_mbit=0.0)
+        assert m.mttf_hours() == math.inf
+
+    def test_generator_rows_conserve_rate(self):
+        m = WordMarkovModel(
+            word_bits=64, correctable=2, raw_fit_per_mbit=5.0,
+            scrub_interval_hours=10.0, smbf_defeat_fit=1.0,
+        )
+        q = m.generator()
+        # Off-diagonal rates are non-negative, diagonal bounds the outflow
+        # (difference = absorption rate into failure).
+        off = q - np.diag(np.diag(q))
+        assert (off >= 0).all()
+        assert (np.diag(q) < 0).all()
+        assert (q.sum(axis=1) <= 1e-18).all()
+
+
+class TestSchemeDerivedModels:
+    def test_correction_capability_derivation(self):
+        rate = dict(word_bits=32, raw_fit_per_mbit=100.0)
+        none = word_mttf_hours(NoProtection(), **rate)
+        par = word_mttf_hours(Parity(), **rate)
+        sec = word_mttf_hours(SecDed(), **rate)
+        dec = word_mttf_hours(DecTed(), **rate)
+        assert none == pytest.approx(par)  # both correct nothing
+        assert sec == pytest.approx(2 * par)
+        assert dec == pytest.approx(3 * par)
+
+    def test_cache_is_series_system(self):
+        one_word = word_mttf_hours(SecDed(), raw_fit_per_mbit=10.0)
+        cache = cache_mttf_hours(SecDed(), 32 << 20, raw_fit_per_mbit=10.0)
+        n_words = (32 << 20) * 8 // 32
+        assert cache == pytest.approx(one_word / n_words)
+
+    def test_smbf_fraction_reduces_cache_mttf(self):
+        base = cache_mttf_hours(SecDed(), 1 << 20, raw_fit_per_mbit=10.0)
+        hit = cache_mttf_hours(
+            SecDed(), 1 << 20, raw_fit_per_mbit=10.0,
+            smbf_defeat_fraction=0.05,
+        )
+        assert hit < base
+
+    def test_matches_closed_form_shape(self):
+        """Spatial defeats dominate accumulation at realistic rates, as in
+        the paper's Figure 2 argument."""
+        no_smbf = cache_mttf_hours(
+            SecDed(), 32 << 20, raw_fit_per_mbit=1.0,
+            scrub_interval_hours=100 * HOURS_PER_YEAR,
+        )
+        with_smbf = cache_mttf_hours(
+            SecDed(), 32 << 20, raw_fit_per_mbit=1.0,
+            scrub_interval_hours=100 * HOURS_PER_YEAR,
+            smbf_defeat_fraction=0.001,
+        )
+        assert with_smbf < no_smbf / 100

@@ -1,0 +1,84 @@
+"""Unit tests for the tMBF vs sMBF MTTF models (paper Fig. 2)."""
+
+import math
+
+import pytest
+
+from repro.core.mttf import (
+    HOURS_PER_YEAR,
+    figure2_sweep,
+    mttf_smbf_hours,
+    mttf_tmbf_hours,
+    mttf_tmbf_unbounded_hours,
+)
+
+BITS_32MB = (32 << 20) * 8
+
+
+class TestSmbfModel:
+    def test_scales_inversely_with_rate(self):
+        a = mttf_smbf_hours(BITS_32MB, 1000.0, 0.001)
+        b = mttf_smbf_hours(BITS_32MB, 2000.0, 0.001)
+        assert a == pytest.approx(2 * b)
+
+    def test_scales_inversely_with_fraction(self):
+        # Sec. IV-B: a 5% sMBF rate cuts MTTF ~2 orders vs 0.1%.
+        a = mttf_smbf_hours(BITS_32MB, 1000.0, 0.001)
+        b = mttf_smbf_hours(BITS_32MB, 1000.0, 0.05)
+        assert a / b == pytest.approx(50.0)
+
+    def test_zero_rate(self):
+        assert mttf_smbf_hours(BITS_32MB, 0.0, 0.001) == math.inf
+
+
+class TestTmbfModel:
+    def test_quadratic_in_rate(self):
+        a = mttf_tmbf_hours(BITS_32MB, 1000.0, 100.0)
+        b = mttf_tmbf_hours(BITS_32MB, 2000.0, 100.0)
+        assert a == pytest.approx(4 * b)
+
+    def test_lifetime_bounding_increases_mttf(self):
+        # Paper: limiting line lifetime to 100 years raises tMBF MTTF by
+        # several orders of magnitude vs unbounded accumulation.
+        unbounded = mttf_tmbf_unbounded_hours(BITS_32MB, 1.0)
+        bounded = mttf_tmbf_hours(BITS_32MB, 1.0, 100 * HOURS_PER_YEAR)
+        assert bounded > unbounded * 1000
+
+    def test_unbounded_scales_inversely_with_rate(self):
+        a = mttf_tmbf_unbounded_hours(BITS_32MB, 1000.0)
+        b = mttf_tmbf_unbounded_hours(BITS_32MB, 2000.0)
+        assert a == pytest.approx(2 * b)
+
+
+class TestFigure2Shape:
+    def test_smbf_dominates_tmbf(self):
+        """The paper's core claim: sMBF MTTF is far below tMBF MTTF."""
+        for row in figure2_sweep():
+            assert row.mttf_smbf_01pct < row.mttf_tmbf_unbounded
+            assert row.mttf_smbf_01pct < row.mttf_tmbf_100yr
+
+    def test_gap_reaches_six_to_eight_orders(self):
+        # Figure 2: at realistic raw rates with the 100-year lifetime bound,
+        # the sMBF MTTF is 6-8 orders of magnitude below the tMBF MTTF.
+        row = figure2_sweep([0.01])[0]
+        assert row.mttf_tmbf_100yr / row.mttf_smbf_5pct > 1e6
+        assert row.mttf_tmbf_100yr / row.mttf_smbf_01pct > 1e7
+
+    def test_rows_cover_requested_rates(self):
+        rows = figure2_sweep([10.0, 100.0])
+        assert [r.raw_fit_per_mbit for r in rows] == [10.0, 100.0]
+
+    def test_5pct_is_50x_worse(self):
+        for row in figure2_sweep():
+            assert row.mttf_smbf_01pct / row.mttf_smbf_5pct == pytest.approx(50.0)
+
+    def test_mttf_monotone_in_rate(self):
+        rows = figure2_sweep([100.0, 1000.0, 10000.0])
+        for field in (
+            "mttf_smbf_01pct",
+            "mttf_smbf_5pct",
+            "mttf_tmbf_unbounded",
+            "mttf_tmbf_100yr",
+        ):
+            vals = [getattr(r, field) for r in rows]
+            assert vals == sorted(vals, reverse=True)

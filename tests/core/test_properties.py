@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.avf import StructureLifetimes, compute_mb_avf, compute_sb_avf
+from repro.core.faultmodes import FaultMode
+from repro.core.intervals import AceClass, IntervalSet, Outcome, sweep_max
+from repro.core.layout import Interleaving, SramArray, build_cache_array
+from repro.core.mttf import mttf_smbf_hours, mttf_tmbf_hours
+from repro.core.protection import (
+    SCHEMES,
+    NoProtection,
+    Parity,
+    Reaction,
+    SecDed,
+    classify_region,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def interval_sets(draw, max_cycle=200, max_intervals=6, max_class=3):
+    """A random valid IntervalSet (sorted, disjoint, classed)."""
+    n = draw(st.integers(0, max_intervals))
+    points = draw(
+        st.lists(
+            st.integers(0, max_cycle), min_size=2 * n, max_size=2 * n, unique=True
+        )
+    )
+    points.sort()
+    ivals = []
+    for k in range(n):
+        cls = draw(st.integers(1, max_class))
+        ivals.append((points[2 * k], points[2 * k + 1], cls))
+    return IntervalSet(ivals)
+
+
+class TestIntervalProperties:
+    @given(st.lists(interval_sets(), max_size=5), st.integers(0, 200))
+    def test_sweep_max_is_pointwise_max(self, sets, cycle):
+        merged = sweep_max(sets)
+        expected = max((s.class_at(cycle) for s in sets), default=0)
+        assert merged.class_at(cycle) == expected
+
+    @given(interval_sets())
+    def test_clip_never_grows(self, iset):
+        clipped = iset.clip(50, 150)
+        for cls in (1, 2, 3):
+            assert clipped.total(cls) <= iset.total(cls)
+
+    @given(interval_sets())
+    def test_clip_full_window_is_identity(self, iset):
+        assert iset.clip(-1, 10**9).intervals() == iset.intervals()
+
+    @given(interval_sets())
+    def test_map_class_preserves_duration(self, iset):
+        mapped = iset.map_class(lambda c: 1)
+        total_before = sum(iset.total(c) for c in (1, 2, 3))
+        assert mapped.total_at_least(1) == total_before
+
+    @given(interval_sets())
+    def test_durations_match_totals(self, iset):
+        durs = iset.durations(4)
+        for cls in (1, 2, 3):
+            assert durs[cls] == iset.total(cls)
+
+    @given(st.lists(interval_sets(), min_size=1, max_size=4))
+    def test_sweep_idempotent(self, sets):
+        once = sweep_max(sets)
+        twice = sweep_max([once])
+        assert once.intervals() == twice.intervals()
+
+    @given(interval_sets(), st.integers(0, 150), st.integers(1, 60))
+    def test_bucket_accumulate_conserves_time(self, iset, start, width):
+        span_lo, span_hi = iset.span()
+        edges = list(range(0, 260, 20))
+        out = [[0] * 4 for _ in range(len(edges) - 1)]
+        iset.bucket_accumulate(edges, out)
+        for cls in (1, 2, 3):
+            clipped = iset.clip(edges[0], edges[-1])
+            assert sum(row[cls] for row in out) == clipped.total(cls)
+
+
+class TestProtectionProperties:
+    @given(st.sampled_from(sorted(SCHEMES)), st.integers(0, 16))
+    def test_reaction_defined_everywhere(self, name, n):
+        r = SCHEMES[name].react(n)
+        assert isinstance(r, Reaction)
+        if n == 0:
+            assert r is Reaction.NO_FAULT
+        else:
+            assert r is not Reaction.NO_FAULT
+
+    @given(st.integers(1, 64))
+    def test_parity_detects_exactly_odd(self, n):
+        r = Parity().react(n)
+        assert (r is Reaction.DETECTED) == (n % 2 == 1)
+
+    @given(st.integers(8, 512))
+    def test_check_bit_overheads_ordered(self, data_bits):
+        # Stronger codes never need fewer check bits.
+        assert SCHEMES["secded"].check_bits(data_bits) >= 1
+        assert (
+            SCHEMES["dected"].check_bits(data_bits)
+            > SCHEMES["secded"].check_bits(data_bits)
+        )
+
+    @given(interval_sets(max_class=2), st.sampled_from(list(Reaction)))
+    def test_classified_time_never_exceeds_input(self, ace, reaction):
+        out = classify_region(reaction, ace)
+        assert out.total_at_least(1) <= ace.total_at_least(1)
+
+
+class TestFaultModeProperties:
+    @given(st.integers(1, 16))
+    def test_linear_geometry(self, m):
+        mode = FaultMode.linear(m)
+        assert mode.n_bits == m
+        assert mode.width == m and mode.height == 1
+        assert (0, 0) in mode.offsets
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_rect_geometry(self, h, w):
+        mode = FaultMode.rect(h, w)
+        assert mode.n_bits == h * w
+        assert mode.height == h and mode.width == w
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+            min_size=1, max_size=8, unique=True,
+        )
+    )
+    def test_normalisation_anchors_origin(self, offsets):
+        mode = FaultMode("custom", tuple(offsets))
+        assert min(r for r, _ in mode.offsets) == 0
+        assert min(c for _, c in mode.offsets) == 0
+        assert mode.n_bits == len(offsets)
+
+
+def _toy_lifetimes(spans, window=100):
+    """Two-byte toy structure with hypothesis-chosen ACE spans."""
+    isets = []
+    for lo, hi in spans:
+        if lo < hi:
+            isets.append(IntervalSet([(lo, hi, int(AceClass.ACE))]))
+        else:
+            isets.append(IntervalSet())
+    return StructureLifetimes("toy", isets, 0, window)
+
+
+def _toy_array(interleaved: bool) -> SramArray:
+    if interleaved:
+        domain_of = np.array([[c % 2 for c in range(16)]], dtype=np.int32)
+    else:
+        domain_of = np.array([[c // 8 for c in range(16)]], dtype=np.int32)
+    return SramArray(
+        "toy", domain_of.copy(), domain_of, 1,
+        2 if interleaved else 1,
+        Interleaving.LOGICAL if interleaved else Interleaving.NONE,
+    )
+
+
+class TestAvfEngineProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            min_size=2, max_size=2,
+        ),
+        st.booleans(),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unprotected_mb_avf_bounds(self, spans, interleaved, m):
+        """SB-AVF <= MB-AVF <= M * SB-AVF for any lifetimes (Sec. IV-D)."""
+        arr = _toy_array(interleaved)
+        lt = _toy_lifetimes(spans)
+        sb = compute_sb_avf(arr, lt, NoProtection()).sdc_avf
+        mb = compute_mb_avf(arr, lt, FaultMode.linear(m), NoProtection()).sdc_avf
+        assert sb - 1e-12 <= mb <= m * sb + 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            min_size=2, max_size=2,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_avfs_partition_at_most_one(self, spans, m):
+        arr = _toy_array(True)
+        lt = _toy_lifetimes(spans)
+        res = compute_mb_avf(arr, lt, FaultMode.linear(m), Parity())
+        total = res.sdc_avf + res.true_due_avf + res.false_due_avf
+        assert 0.0 <= total <= 1.0 + 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            min_size=2, max_size=2,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_secded_never_worse_than_parity_at_sdc(self, spans, m):
+        arr = _toy_array(True)
+        lt = _toy_lifetimes(spans)
+        # At 2 bits per domain or fewer, SEC-DED's SDC cannot exceed
+        # no-protection's SDC.
+        if m <= 4:  # x2 interleave -> at most 2 faulty bits per domain
+            unp = compute_mb_avf(arr, lt, FaultMode.linear(m), NoProtection())
+            sec = compute_mb_avf(arr, lt, FaultMode.linear(m), SecDed())
+            assert sec.sdc_avf <= unp.sdc_avf + 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            min_size=2, max_size=2,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_due_preemption_conserves_total(self, spans, m):
+        """The Sec. VIII rule reclassifies SDC as DUE, never changes totals."""
+        arr = _toy_array(True)
+        lt = _toy_lifetimes(spans)
+        mode = FaultMode.linear(m)
+        plain = compute_mb_avf(arr, lt, mode, Parity())
+        pre = compute_mb_avf(arr, lt, mode, Parity(), due_preempts_sdc=True)
+        assert pre.sdc_avf <= plain.sdc_avf + 1e-12
+        assert pre.total_avf == pytest.approx(plain.total_avf, abs=1e-12)
+
+
+class TestLayoutProperties:
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.sampled_from([2, 4]),
+        st.sampled_from(
+            [Interleaving.LOGICAL, Interleaving.WAY_PHYSICAL,
+             Interleaving.INDEX_PHYSICAL]
+        ),
+        st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cache_layout_bijection(self, n_sets, n_ways, style, factor):
+        arr = build_cache_array(
+            n_sets, n_ways, 64, style=style, factor=factor
+        )
+        counts = np.bincount(arr.byte_of.ravel())
+        assert (counts == 8).all()
+        assert (arr.byte_of.ravel() // 4 == arr.domain_of.ravel()).all()
+
+
+class TestMttfProperties:
+    @given(
+        st.floats(0.001, 1000.0),
+        st.floats(0.0001, 0.5),
+        st.integers(1 << 20, 1 << 32),
+    )
+    def test_smbf_mttf_positive_and_monotone(self, fit, frac, bits):
+        base = mttf_smbf_hours(bits, fit, frac)
+        assert base > 0
+        assert mttf_smbf_hours(bits, fit * 2, frac) < base
+        assert mttf_smbf_hours(bits, fit, min(frac * 2, 1.0)) < base
+
+    @given(st.floats(0.001, 1000.0), st.floats(1.0, 1e7))
+    def test_tmbf_decreases_with_lifetime(self, fit, hours):
+        bits = 1 << 28
+        assert mttf_tmbf_hours(bits, fit, hours * 2) < mttf_tmbf_hours(
+            bits, fit, hours
+        )

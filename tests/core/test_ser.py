@@ -1,0 +1,86 @@
+"""Unit tests for fault-rate tables and SER aggregation."""
+
+import pytest
+
+from repro.core.ser import (
+    TABLE_I,
+    TABLE_III,
+    StructureSer,
+    chip_ser,
+    fault_mode_fractions,
+    soft_error_rate,
+)
+
+
+class TestTableI:
+    def test_nodes_present(self):
+        assert set(TABLE_I) == {180, 130, 90, 65, 45, 32, 22}
+
+    def test_paper_anchor_180nm(self):
+        # Intro: 0.5% of SRAM faults are multi-bit at 180nm.
+        assert sum(TABLE_I[180].values()) == pytest.approx(0.5)
+
+    def test_paper_anchor_22nm(self):
+        # Intro/Table I: 3.9% of all faults are multi-bit at 22nm.
+        assert sum(TABLE_I[22].values()) == pytest.approx(3.9)
+
+    def test_rate_grows_with_scaling(self):
+        totals = [sum(TABLE_I[n].values()) for n in sorted(TABLE_I, reverse=True)]
+        assert totals == sorted(totals)
+
+    def test_width_increases_with_scaling(self):
+        max_widths = [max(TABLE_I[n]) for n in sorted(TABLE_I, reverse=True)]
+        assert max_widths == sorted(max_widths)
+
+    def test_two_bit_dominates(self):
+        for node, widths in TABLE_I.items():
+            assert max(widths, key=widths.get) == 2
+
+
+class TestTableIII:
+    def test_sums_to_100(self):
+        assert sum(TABLE_III.values()) == pytest.approx(100.0)
+
+    def test_single_bit_share(self):
+        assert TABLE_III["1x1"] == pytest.approx(96.1)
+
+    def test_all_modes_present(self):
+        assert set(TABLE_III) == {f"{m}x1" for m in range(1, 9)}
+
+
+class TestFaultModeFractions:
+    def test_sums_to_one(self):
+        for node in TABLE_I:
+            assert sum(fault_mode_fractions(node).values()) == pytest.approx(1.0)
+
+    def test_folding_beyond_max_width(self):
+        fr = fault_mode_fractions(22, max_width=8)
+        # The 9+-bit share folds into 8x1.
+        assert fr["8x1"] == pytest.approx((0.1 + 0.1) / 100.0)
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            fault_mode_fractions(14)
+
+
+class TestSoftErrorRate:
+    def test_weighted_sum(self):
+        fit = {"1x1": 90.0, "2x1": 10.0}
+        avf = {"1x1": (0.1, 0.2), "2x1": (0.3, 0.4)}
+        ser = soft_error_rate(fit, avf, "L1")
+        assert ser.due_fit == pytest.approx(90 * 0.1 + 10 * 0.3)
+        assert ser.sdc_fit == pytest.approx(90 * 0.2 + 10 * 0.4)
+        assert ser.total_fit == pytest.approx(ser.due_fit + ser.sdc_fit)
+        assert ser.structure == "L1"
+
+    def test_mode_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            soft_error_rate({"1x1": 1.0}, {"2x1": (0.0, 0.0)})
+
+    def test_chip_aggregation(self):
+        total = chip_ser(
+            [StructureSer("a", 1.0, 2.0), StructureSer("b", 3.0, 4.0)]
+        )
+        assert total.due_fit == 4.0
+        assert total.sdc_fit == 6.0
+        assert total.structure == "chip"

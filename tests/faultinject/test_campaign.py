@@ -1,0 +1,123 @@
+"""Tests for the fault-injection framework and ACE-interference campaign."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v
+from repro.faultinject import InjectionOutcome, InjectionSpec, run_campaign
+from repro.faultinject.campaign import _Runner
+from repro.workloads import REGISTRY
+
+
+class TestInjectionHook:
+    def _copy_program(self):
+        p = ProgramBuilder()
+        p.shl(v(2), v(0), imm(2))
+        p.iadd(v(3), v(2), s(2))
+        p.load(v(4), v(3))
+        p.iadd(v(5), v(2), s(3))
+        p.store(v(4), v(5))
+        return p.build()
+
+    def _run(self, inject=None):
+        mem = GlobalMemory()
+        a = mem.alloc("a", 64)
+        b = mem.alloc("b", 64)
+        mem.view_u32("a")[:] = np.arange(16, dtype=np.uint32)
+        apu = Apu(memory=mem, n_cus=1)
+        if inject:
+            apu.inject_fault(*inject)
+        apu.launch(self._copy_program(), 16, [a, b])
+        apu.finish()
+        return mem.view_u32("b").copy()
+
+    def test_no_injection_is_clean(self):
+        assert (self._run() == np.arange(16)).all()
+
+    def test_flip_in_live_register_corrupts_output(self):
+        # Flip bit 0 of v0 (the tid register) in lane 3 before execution:
+        # lane 3's addresses change, corrupting the copy.
+        out = self._run(inject=(0, 0, 3, 1, 0))
+        assert not (out == np.arange(16)).all()
+
+    def test_flip_in_unused_register_is_masked(self):
+        out = self._run(inject=(0, 9, 3, 1, 0))
+        assert (out == np.arange(16)).all()
+
+    def test_flip_after_completion_is_masked(self):
+        out = self._run(inject=(0, 0, 3, 1, 10**6))
+        assert (out == np.arange(16)).all()
+
+    def test_flip_out_of_range_register_ignored(self):
+        out = self._run(inject=(0, 500, 3, 1, 0))
+        assert (out == np.arange(16)).all()
+
+
+class TestInjectionSpec:
+    def test_bitmask(self):
+        spec = InjectionSpec(0, 1, 2, (0, 3), 5)
+        assert spec.bitmask == 0b1001
+
+    def test_bitmask_wraps_at_32(self):
+        spec = InjectionSpec(0, 1, 2, (31,), 5)
+        assert spec.bitmask == 1 << 31
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return _Runner(REGISTRY["transpose"], seed=0, n_cus=1)
+
+    def test_golden_snapshot_nonempty(self, runner):
+        assert len(runner.golden) == 32 * 32 * 4
+
+    def test_masked_for_noop_injection(self, runner):
+        # Register far beyond anything the kernel uses.
+        spec = InjectionSpec(0, 200, 0, (0,), 0)
+        assert runner.inject(spec) == InjectionOutcome.MASKED
+
+    def test_deterministic_verdicts(self, runner):
+        rng = np.random.default_rng(7)
+        spec = runner.random_spec(rng)
+        assert runner.inject(spec) == runner.inject(spec)
+
+    def test_random_spec_in_bounds(self, runner):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            spec = runner.random_spec(rng, n_bits=3)
+            assert 0 <= spec.lane < 16
+            assert all(0 <= b < 32 for b in spec.bits)
+            assert spec.wf in runner.windows
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(
+            "transpose", n_single=24, max_groups_per_mode=6, seed=0, n_cus=1
+        )
+
+    def test_outcome_counts_sum(self, campaign):
+        assert sum(campaign.single_outcomes.values()) == 24
+
+    def test_finds_some_sdc_bits(self, campaign):
+        assert campaign.n_sdc_ace_bits >= 1
+        assert campaign.single_outcomes.get(InjectionOutcome.SDC, 0) == (
+            campaign.n_sdc_ace_bits
+        )
+
+    def test_multibit_modes_run(self, campaign):
+        assert set(campaign.multibit) == {2, 3, 4}
+        for injected, interfering in campaign.multibit.values():
+            assert 0 <= interfering <= injected
+
+    def test_interference_is_rare(self, campaign):
+        """The paper's Table II conclusion: ACE interference ~0.1%."""
+        injected = sum(n for n, _ in campaign.multibit.values())
+        interfering = campaign.interference_total()
+        assert injected > 0
+        assert interfering <= max(1, injected // 10)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            run_campaign("nope")

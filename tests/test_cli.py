@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_mode, main
+from repro.core import FaultMode
+
+
+class TestParseMode:
+    def test_linear(self):
+        assert _parse_mode("3x1") == FaultMode.linear(3)
+
+    def test_rect(self):
+        assert _parse_mode("2x2") == FaultMode.rect(2, 2)
+
+    def test_case_insensitive(self):
+        assert _parse_mode("4X1") == FaultMode.linear(4)
+
+    def test_bad_mode(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_mode("banana")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "minife" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "vectoradd"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "OK" in out
+
+    def test_avf(self, capsys):
+        assert main(
+            ["avf", "vectoradd", "--structure", "l2", "--mode", "2x1",
+             "--scheme", "parity"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DUE MB-AVF" in out
+        assert "SDC MB-AVF" in out
+
+    def test_avf_vgpr(self, capsys):
+        assert main(
+            ["avf", "vectoradd", "--structure", "vgpr", "--mode", "2x1",
+             "--style", "inter_thread", "--factor", "2"]
+        ) == 0
+        assert "vgpr" in capsys.readouterr().out
+
+    def test_ser(self, capsys):
+        assert main(
+            ["ser", "vectoradd", "--structure", "vgpr", "--scheme", "parity",
+             "--style", "inter_thread", "--factor", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SER" in out and "8x1" in out
+
+    def test_inject(self, capsys):
+        assert main(
+            ["inject", "vectoradd", "--singles", "5", "--groups", "2",
+             "--cus", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SDC ACE bits" in out
+
+    def test_mttf(self, capsys):
+        assert main(["mttf"]) == 0
+        assert "tMBF" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-a-workload"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,52 @@
+"""Tests for the shared experiment configuration and study cache."""
+
+import pytest
+
+from repro.core import AvfStudy, FaultMode, Parity
+from repro.experiments import (
+    SCALED_L1,
+    SCALED_L2,
+    StudyCache,
+    build_study,
+    scaled_apu_kwargs,
+)
+
+
+class TestScaledConfig:
+    def test_capacities(self):
+        assert SCALED_L1.capacity == 4 * 1024
+        assert SCALED_L2.capacity == 32 * 1024
+
+    def test_preserves_paper_ratio(self):
+        # paper: 16KB L1 / 256KB L2 -> the scaled pair keeps L2 = 8x L1.
+        assert SCALED_L2.capacity // SCALED_L1.capacity == 8
+
+    def test_kwargs_plumb_through(self):
+        study = build_study("vectoradd", n_cus=1)
+        assert study.apu.memsys.l1s[0].config == SCALED_L1
+        assert study.apu.memsys.l2.config == SCALED_L2
+
+    def test_kwargs_are_fresh_dicts(self):
+        a = scaled_apu_kwargs()
+        a["l1_config"] = None
+        assert scaled_apu_kwargs()["l1_config"] == SCALED_L1
+
+
+class TestStudyCache:
+    def test_returns_study(self):
+        cache = StudyCache()
+        study = cache("vectoradd")
+        assert isinstance(study, AvfStudy)
+
+    def test_memoises(self):
+        cache = StudyCache()
+        assert cache("vectoradd") is cache("vectoradd")
+
+    def test_distinct_workloads_distinct_studies(self):
+        cache = StudyCache()
+        assert cache("vectoradd") is not cache("transpose")
+
+    def test_cached_study_is_usable(self):
+        cache = StudyCache()
+        res = cache("vectoradd").cache_avf("l2", FaultMode.linear(1), Parity())
+        assert 0 <= res.total_avf <= 1
