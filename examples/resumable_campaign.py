@@ -1,0 +1,54 @@
+"""Kill-safe fault-injection campaign with checkpoint/resume.
+
+Runs a Table II-style campaign through the fault-tolerant runtime
+(`repro.runtime`): every injection executes in an isolated worker process
+under a wall-clock timeout, infrastructure failures are retried with
+backoff, and each result is durably appended to a JSONL journal.  To see
+the resume behaviour, Ctrl-C (or even SIGKILL) the script partway through
+and run it again: journaled injections are skipped and the final result is
+identical to an uninterrupted run.
+
+Run with:  python examples/resumable_campaign.py [journal.jsonl]
+"""
+
+import sys
+
+from repro.faultinject import run_campaign
+from repro.runtime import Journal, RetryPolicy
+
+
+def main() -> None:
+    journal_path = sys.argv[1] if len(sys.argv) > 1 else "campaign.jsonl"
+    done_before = len(Journal(journal_path).load())
+    if done_before:
+        print(f"resuming: {done_before} injections already journaled "
+              f"in {journal_path}")
+
+    campaign = run_campaign(
+        "transpose",
+        n_single=40, modes=(2, 3, 4), max_groups_per_mode=10,
+        jobs=2,                       # two isolated worker processes
+        timeout=60.0,                 # kill any simulation past 60s
+        retry=RetryPolicy(            # retry worker death / timeout twice
+            max_attempts=3, backoff=1.0, jitter=0.1,
+        ),
+        journal=journal_path,
+    )
+
+    print(f"benchmark: {campaign.benchmark}")
+    for outcome, count in sorted(campaign.single_outcomes.items()):
+        print(f"  {outcome:<8} {count}")
+    print(f"SDC ACE bits: {campaign.n_sdc_ace_bits}")
+    for m, (injected, interfering) in sorted(campaign.multibit.items()):
+        print(f"  {m}x1 groups: {injected}, ACE interference: {interfering}")
+    if campaign.n_failed:
+        breakdown = ", ".join(
+            f"{k}={v}" for k, v in sorted(campaign.failures.items())
+        )
+        print(f"  failed (after retries): {campaign.n_failed} ({breakdown})")
+    print(f"\njournal: {journal_path} — delete it to start fresh, or "
+          "re-run this script to verify nothing re-executes.")
+
+
+if __name__ == "__main__":          # required: workers use the spawn
+    main()                          # start method and re-import this file

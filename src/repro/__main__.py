@@ -1,7 +1,13 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__main__`` guard is load-bearing: the campaign runtime starts
+worker processes with the ``spawn`` method, which re-imports this module
+in every worker — an unguarded ``main()`` would re-run the CLI there.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

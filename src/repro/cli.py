@@ -9,12 +9,16 @@ Examples::
     python -m repro ser matmul --structure vgpr --scheme parity \\
         --style inter_thread --factor 4
     python -m repro inject transpose --singles 30
+    python -m repro inject transpose --jobs 2 --timeout 60 --retries 2 \\
+        --resume campaign.jsonl
+    python -m repro campaign --jobs 4 --resume table2.jsonl
     python -m repro mttf
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -121,19 +125,78 @@ def _cmd_ser(args) -> int:
     return 0
 
 
-def _cmd_inject(args) -> int:
-    from .faultinject import run_campaign
+def _runtime_kwargs(args) -> dict:
+    """Campaign-runtime options shared by ``inject`` and ``campaign``."""
+    from .runtime import RetryPolicy
 
-    c = run_campaign(
-        args.workload, n_single=args.singles,
-        max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
-    )
+    retry = None
+    if args.retries:
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1,
+            backoff=1.0,
+            jitter=0.1,
+            seed=args.seed,
+        )
+    return {
+        "jobs": args.jobs,
+        "timeout": args.timeout,
+        "retry": retry,
+        "journal": args.journal,
+    }
+
+
+def _print_campaign(c) -> None:
     print(f"benchmark: {c.benchmark}")
     for outcome, count in sorted(c.single_outcomes.items()):
         print(f"  {outcome:<8} {count}")
     print(f"SDC ACE bits: {c.n_sdc_ace_bits}")
     for m, (injected, interfering) in sorted(c.multibit.items()):
         print(f"  {m}x1 groups: {injected}, ACE interference: {interfering}")
+    if c.n_failed:
+        breakdown = ", ".join(
+            f"{k}={v}" for k, v in sorted(c.failures.items())
+        )
+        print(f"  FAILED   {c.n_failed} ({breakdown})")
+
+
+def _cmd_inject(args) -> int:
+    from .faultinject import run_campaign
+
+    c = run_campaign(
+        args.workload, n_single=args.singles,
+        max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
+        **_runtime_kwargs(args),
+    )
+    _print_campaign(c)
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .faultinject import ace_interference_study
+    from .workloads.suite import OPENCL_SAMPLES
+
+    benchmarks = args.benchmarks or list(OPENCL_SAMPLES)
+    campaigns = ace_interference_study(
+        benchmarks, n_single=args.singles,
+        max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
+        **_runtime_kwargs(args),
+    )
+    for c in campaigns:
+        _print_campaign(c)
+        print()
+    total_bits = sum(c.n_sdc_ace_bits for c in campaigns)
+    total_groups = sum(
+        n for c in campaigns for n, _ in c.multibit.values()
+    )
+    total_interfering = sum(c.interference_total() for c in campaigns)
+    total_failed = sum(c.n_failed for c in campaigns)
+    print(f"total SDC ACE bits:    {total_bits}")
+    print(f"total multibit groups: {total_groups}")
+    print(f"ACE interference:      {total_interfering} "
+          f"({total_interfering / total_groups:.2%})"
+          if total_groups else "ACE interference:      n/a")
+    if total_failed:
+        print(f"failed injections:     {total_failed}")
     return 0
 
 
@@ -168,6 +231,29 @@ def _add_measure_args(sub) -> None:
     sub.add_argument("--factor", type=int, default=1)
 
 
+def _add_runtime_args(sub) -> None:
+    sub.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="run injections in N isolated worker processes (0 = in-process)",
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="kill any single simulation exceeding this wall-clock budget "
+             "(needs --jobs >= 1)",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry infrastructure failures (worker death, timeout) "
+             "up to N times with exponential backoff",
+    )
+    sub.add_argument(
+        "--resume", "--journal", dest="journal", default=None,
+        metavar="JOURNAL",
+        help="JSONL checkpoint journal: completed injections are appended "
+             "here and skipped on re-run, making the campaign resumable",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -196,16 +282,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(p_inj)
     p_inj.add_argument("--singles", type=int, default=40)
     p_inj.add_argument("--groups", type=int, default=10)
+    _add_runtime_args(p_inj)
+
+    p_camp = subs.add_parser(
+        "campaign",
+        help="multi-benchmark injection campaign (the Table II study)",
+    )
+    p_camp.add_argument(
+        "benchmarks", nargs="*", metavar="BENCHMARK",
+        help="benchmarks to inject (default: the AMD OpenCL sample suite)",
+    )
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--cus", type=int, default=2, help="compute units")
+    p_camp.add_argument("--singles", type=int, default=40)
+    p_camp.add_argument("--groups", type=int, default=10)
+    _add_runtime_args(p_camp)
 
     subs.add_parser("mttf", help="Figure 2 tMBF/sMBF MTTF table")
 
     args = parser.parse_args(argv)
+    if args.command in ("inject", "campaign"):
+        if args.jobs < 0:
+            parser.error("--jobs must be >= 0 (0 = in-process)")
+        if args.retries < 0:
+            parser.error("--retries must be >= 0")
+        if args.timeout is not None and args.jobs < 1:
+            parser.error("--timeout requires --jobs >= 1 (process isolation)")
+        if args.journal and os.path.isdir(args.journal):
+            parser.error(f"--resume {args.journal}: is a directory")
+        if getattr(args, "benchmarks", None):
+            unknown = [b for b in args.benchmarks if b not in names()]
+            if unknown:
+                parser.error(f"unknown benchmarks: {', '.join(unknown)}")
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "avf": _cmd_avf,
         "ser": _cmd_ser,
         "inject": _cmd_inject,
+        "campaign": _cmd_campaign,
         "mttf": _cmd_mttf,
     }
     return handlers[args.command](args)

@@ -3,11 +3,18 @@
 The experiments repeatedly measure (fault mode x protection scheme x
 interleaving) grids; this utility packages that loop with caching-friendly
 iteration order and a flat, easily-tabulated result form.
+
+Sweeps can optionally run through the campaign runtime
+(:mod:`repro.runtime`): pass an :class:`~repro.runtime.Executor` and each
+grid cell becomes a journaled task, so a long sweep is restartable and a
+cell that fails (a harness bug on one configuration) is reported and
+skipped instead of aborting the grid.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .analysis import AvfStudy
@@ -50,6 +57,66 @@ class SweepPoint:
         )
 
 
+def _scheme_label(scheme: ProtectionScheme) -> str:
+    return getattr(scheme, "name", type(scheme).__name__.lower())
+
+
+def _run_grid(structure, cells, measure, executor) -> List[SweepPoint]:
+    """Evaluate grid cells directly, or as journaled runtime tasks.
+
+    ``cells`` is a list of ``(cell_id, (style, factor, scheme, mode))``.
+    With an executor, each cell returns the point as a JSON-safe dict (so
+    journaled sweeps reload exactly); failed cells are warned about and
+    dropped — the sweep degrades instead of dying.
+    """
+    if executor is None:
+        return [
+            SweepPoint.from_result(
+                structure, style, factor, measure(style, factor, scheme, mode)
+            )
+            for _, (style, factor, scheme, mode) in cells
+        ]
+    from ..runtime import Task
+
+    def cell_fn(args) -> dict:
+        style, factor, scheme, mode = args
+        res = measure(style, factor, scheme, mode)
+        return asdict(SweepPoint.from_result(structure, style, factor, res))
+
+    tasks = [Task(id=cell_id, payload=args) for cell_id, args in cells]
+    results = executor.run(tasks, fn=cell_fn)
+    points: List[SweepPoint] = []
+    for task in tasks:
+        r = results[task.id]
+        if r.ok:
+            points.append(SweepPoint(**r.value))
+        else:
+            warnings.warn(
+                f"sweep cell {task.id} failed ({r.outcome}): {r.error}; "
+                "point dropped",
+                stacklevel=3,
+            )
+    return points
+
+
+def _grid(
+    structure: str,
+    modes: Iterable[FaultMode],
+    schemes: Iterable[ProtectionScheme],
+    layouts: Iterable[Tuple[Interleaving, int]],
+) -> List[Tuple[str, Tuple]]:
+    cells = []
+    for style, factor in layouts:
+        for scheme in schemes:
+            for mode in modes:
+                cell_id = (
+                    f"sweep/{structure}/{style.value}x{factor}/"
+                    f"{_scheme_label(scheme)}/{mode.name}"
+                )
+                cells.append((cell_id, (style, factor, scheme, mode)))
+    return cells
+
+
 def sweep_cache_avf(
     study: AvfStudy,
     level: str,
@@ -58,18 +125,20 @@ def sweep_cache_avf(
     schemes: Iterable[ProtectionScheme],
     layouts: Iterable[Tuple[Interleaving, int]] = ((Interleaving.NONE, 1),),
     domain_bytes: int = 4,
+    executor: Optional["Executor"] = None,
 ) -> List[SweepPoint]:
     """Measure every (mode, scheme, layout) combination on a cache level."""
-    points = []
-    for style, factor in layouts:
-        for scheme in schemes:
-            for mode in modes:
-                res = study.cache_avf(
-                    level, mode, scheme,
-                    style=style, factor=factor, domain_bytes=domain_bytes,
-                )
-                points.append(SweepPoint.from_result(level, style, factor, res))
-    return points
+
+    def measure(style, factor, scheme, mode):
+        return study.cache_avf(
+            level, mode, scheme,
+            style=style, factor=factor, domain_bytes=domain_bytes,
+        )
+
+    return _run_grid(
+        level, _grid(level, list(modes), list(schemes), list(layouts)),
+        measure, executor,
+    )
 
 
 def sweep_vgpr_avf(
@@ -80,15 +149,17 @@ def sweep_vgpr_avf(
     layouts: Iterable[Tuple[Interleaving, int]] = (
         (Interleaving.INTRA_THREAD, 1),
     ),
+    executor: Optional["Executor"] = None,
 ) -> List[SweepPoint]:
     """Measure every (mode, scheme, layout) combination on the VGPR."""
-    points = []
-    for style, factor in layouts:
-        for scheme in schemes:
-            for mode in modes:
-                res = study.vgpr_avf(mode, scheme, style=style, factor=factor)
-                points.append(SweepPoint.from_result("vgpr", style, factor, res))
-    return points
+
+    def measure(style, factor, scheme, mode):
+        return study.vgpr_avf(mode, scheme, style=style, factor=factor)
+
+    return _run_grid(
+        "vgpr", _grid("vgpr", list(modes), list(schemes), list(layouts)),
+        measure, executor,
+    )
 
 
 def tabulate(
@@ -100,8 +171,9 @@ def tabulate(
 ) -> Tuple[List[str], List[str], Dict[Tuple[str, str], float]]:
     """Pivot a sweep into (row labels, column labels, cell values).
 
-    ``rows``/``cols`` name SweepPoint fields; cells hold the chosen value
-    (the last point wins if several share a cell).
+    ``rows``/``cols`` name SweepPoint fields; cells hold the chosen value.
+    Several points sharing a cell is almost always a malformed sweep (the
+    pivot loses data), so collisions warn — the last point still wins.
     """
     row_labels: List[str] = []
     col_labels: List[str] = []
@@ -113,5 +185,11 @@ def tabulate(
             row_labels.append(r)
         if c not in col_labels:
             col_labels.append(c)
+        if (r, c) in cells:
+            warnings.warn(
+                f"tabulate: several points share cell ({r}, {c}); "
+                "the last one wins — pivot on more fields to keep them apart",
+                stacklevel=2,
+            )
         cells[(r, c)] = getattr(p, value)
     return row_labels, col_labels, cells

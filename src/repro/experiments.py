@@ -11,10 +11,16 @@ sizes; only the experiment harness uses the scaled pair.)
 
 from __future__ import annotations
 
-from typing import Dict
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .arch.cache import CacheConfig
 from .core.analysis import AvfStudy
+from .core.faultmodes import FaultMode
+from .core.layout import Interleaving
+from .core.protection import ProtectionScheme
+from .core.sweep import SweepPoint, sweep_cache_avf, sweep_vgpr_avf
+from .runtime import Executor, Journal, RetryPolicy, Task
 from .workloads import run
 
 __all__ = [
@@ -23,6 +29,7 @@ __all__ = [
     "scaled_apu_kwargs",
     "build_study",
     "StudyCache",
+    "sweep_benchmarks",
 ]
 
 #: 4KB, 4-way L1 per CU (the paper's 16KB scaled with the datasets).
@@ -53,3 +60,86 @@ class StudyCache:
         if name not in self._cache:
             self._cache[name] = build_study(name)
         return self._cache[name]
+
+
+# -- cross-benchmark sweeps through the campaign runtime ---------------------
+
+_GRID_STUDIES: Optional[StudyCache] = None
+
+
+def _init_grid_worker() -> None:
+    """One memoised study cache per worker process."""
+    global _GRID_STUDIES
+    _GRID_STUDIES = StudyCache()
+
+
+def _grid_task(payload) -> List[dict]:
+    """Measure one benchmark's whole (mode, scheme, layout) grid."""
+    name, structure, modes, schemes, layouts = payload
+    study = _GRID_STUDIES(name)
+    if structure == "vgpr":
+        points = sweep_vgpr_avf(
+            study, modes=modes, schemes=schemes, layouts=layouts
+        )
+    else:
+        points = sweep_cache_avf(
+            study, structure, modes=modes, schemes=schemes, layouts=layouts
+        )
+    return [asdict(p) for p in points]
+
+
+def sweep_benchmarks(
+    benchmarks: Sequence[str],
+    structure: str = "l1",
+    *,
+    modes: Iterable[FaultMode],
+    schemes: Iterable[ProtectionScheme],
+    layouts: Optional[Iterable[Tuple[Interleaving, int]]] = None,
+    jobs: int = 0,
+    timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[Union[Journal, str]] = None,
+) -> Tuple[Dict[str, List[SweepPoint]], Dict[str, str]]:
+    """Measure one sweep grid across many benchmarks through the runtime.
+
+    Each benchmark is one task: with ``jobs >= 1`` benchmarks are simulated
+    in parallel isolated workers (the first parallel sweep execution), a
+    ``timeout`` bounds each benchmark's wall clock, and a ``journal`` makes
+    the whole grid resumable.  Returns ``(points by benchmark, failures by
+    benchmark)`` — a benchmark whose simulation fails is reported in the
+    second mapping instead of aborting the sweep.
+    """
+    if layouts is None:
+        layouts = (
+            ((Interleaving.INTRA_THREAD, 1),) if structure == "vgpr"
+            else ((Interleaving.NONE, 1),)
+        )
+    modes = tuple(modes)
+    schemes = tuple(schemes)
+    layouts = tuple(layouts)
+    tasks = [
+        Task(
+            id=f"grid/{structure}/{name}",
+            payload=(name, structure, modes, schemes, layouts),
+            meta={"benchmark": name, "structure": structure},
+        )
+        for name in benchmarks
+    ]
+    with Executor(
+        _grid_task,
+        jobs=jobs,
+        timeout=timeout,
+        retry=retry,
+        journal=journal,
+        initializer=_init_grid_worker,
+    ) as executor:
+        results = executor.run(tasks)
+    points: Dict[str, List[SweepPoint]] = {}
+    failed: Dict[str, str] = {}
+    for name, task in zip(benchmarks, tasks):
+        r = results[task.id]
+        if r.ok:
+            points[name] = [SweepPoint(**d) for d in r.value]
+        else:
+            failed[name] = f"{r.outcome}: {r.error}"
+    return points, failed

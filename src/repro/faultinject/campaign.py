@@ -16,15 +16,30 @@ The study proceeds exactly as in the paper:
 
 The paper finds 2 interfering groups out of 1730 SDC ACE bits (~0.1%),
 concluding single-bit ACE analysis is a sound basis for SDC MB-AVF.
+
+Every injection runs through the fault-tolerant campaign runtime
+(:mod:`repro.runtime`): with ``jobs >= 1`` each simulation executes in an
+isolated worker process with a wall-clock timeout and bounded retries,
+and with a ``journal`` every completed injection is checkpointed so a
+killed campaign resumes from where it died.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..runtime import (
+    Executor,
+    Journal,
+    RetryPolicy,
+    Task,
+    TaskOutcome,
+    TaskResult,
+    classify_exception,
+)
 from ..workloads.base import run_workload
 from ..workloads.suite import OPENCL_SAMPLES, REGISTRY
 
@@ -36,13 +51,27 @@ __all__ = [
     "ace_interference_study",
 ]
 
+#: cycle budget for one injected simulation before it counts as a hang
+DEFAULT_MAX_CYCLES = 2_000_000
+
 
 class InjectionOutcome:
-    """Outcome labels for a single injection run."""
+    """Semantic outcome labels for a single injection run."""
 
     MASKED = "masked"      # output identical to golden
     SDC = "sdc"            # output silently corrupted
-    CRASH = "crash"        # simulator trapped (bad address, runaway loop...)
+    CRASH = "crash"        # simulator trapped (bad address, illegal op...)
+    HANG = "hang"          # simulator exceeded its cycle budget
+
+    #: Table II counts crash and hang alike as non-SDC detections
+    ALL = (MASKED, SDC, CRASH, HANG)
+
+
+#: runtime taxonomy -> injection verdict for semantic failures
+_TASK_TO_VERDICT = {
+    TaskOutcome.SIM_CRASH: InjectionOutcome.CRASH,
+    TaskOutcome.SIM_HANG: InjectionOutcome.HANG,
+}
 
 
 @dataclass(frozen=True)
@@ -62,6 +91,20 @@ class InjectionSpec:
             mask |= 1 << (b & 31)
         return mask
 
+    def to_dict(self) -> Dict:
+        """JSON-safe form, journaled as task provenance."""
+        return {
+            "wf": self.wf, "reg": self.reg, "lane": self.lane,
+            "bits": list(self.bits), "cycle": self.cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "InjectionSpec":
+        return cls(
+            int(data["wf"]), int(data["reg"]), int(data["lane"]),
+            tuple(int(b) for b in data["bits"]), int(data["cycle"]),
+        )
+
 
 @dataclass
 class BenchmarkCampaign:
@@ -73,22 +116,61 @@ class BenchmarkCampaign:
     sdc_ace_bits: List[InjectionSpec] = field(default_factory=list)
     #: per fault mode width: (groups injected, groups with ACE interference)
     multibit: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: injections that exhausted their retries, by runtime outcome
+    #: (``timeout``, ``worker_died``, ``infra_error``); these carry no
+    #: verdict and are excluded from the single/multibit tallies above.
+    failures: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_sdc_ace_bits(self) -> int:
         return len(self.sdc_ace_bits)
 
+    @property
+    def n_failed(self) -> int:
+        return sum(self.failures.values())
+
     def interference_total(self) -> int:
         return sum(i for _, i in self.multibit.values())
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form for archiving campaign results."""
+        return {
+            "benchmark": self.benchmark,
+            "n_single_injections": self.n_single_injections,
+            "single_outcomes": dict(self.single_outcomes),
+            "sdc_ace_bits": [s.to_dict() for s in self.sdc_ace_bits],
+            "multibit": {str(m): list(v) for m, v in self.multibit.items()},
+            "failures": dict(self.failures),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BenchmarkCampaign":
+        return cls(
+            benchmark=data["benchmark"],
+            n_single_injections=int(data["n_single_injections"]),
+            single_outcomes=dict(data["single_outcomes"]),
+            sdc_ace_bits=[
+                InjectionSpec.from_dict(d) for d in data["sdc_ace_bits"]
+            ],
+            multibit={
+                int(m): (int(v[0]), int(v[1]))
+                for m, v in data["multibit"].items()
+            },
+            failures=dict(data.get("failures", {})),
+        )
 
 
 class _Runner:
     """Executes one workload repeatedly with identical inputs."""
 
-    def __init__(self, workload_cls, seed: int, n_cus: int) -> None:
+    def __init__(
+        self, workload_cls, seed: int, n_cus: int,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+    ) -> None:
         self.workload_cls = workload_cls
         self.seed = seed
         self.n_cus = n_cus
+        self.max_cycles = max_cycles
         golden_run = run_workload(workload_cls(seed=seed), n_cus=n_cus)
         self.golden = self._snapshot(golden_run)
         recs = golden_run.apu.records
@@ -112,30 +194,107 @@ class _Runner:
         lo, hi = self.windows[wf]
         reg = int(rng.integers(0, self.n_vregs[wf]))
         lane = int(rng.integers(0, 16))
-        start = int(rng.integers(0, 32))
-        bits = tuple(min(start + k, 31) for k in range(n_bits))
-        cycle = int(rng.integers(lo, hi + 1))
-        return InjectionSpec(wf, reg, lane, tuple(sorted(set(bits))), cycle)
+        # Sample the group base from [0, 32 - n_bits] so all n_bits flips
+        # stay in-word without collapsing into duplicates near bit 31.
+        start = int(rng.integers(0, 33 - n_bits))
+        spec = InjectionSpec(
+            wf, reg, lane, tuple(range(start, start + n_bits)), cycle=int(
+                rng.integers(lo, hi + 1)
+            ),
+        )
+        assert len(spec.bits) == n_bits
+        return spec
 
     def inject(self, spec: InjectionSpec) -> str:
-        wl = self.workload_cls(seed=self.seed)
-        try:
-            from ..arch.gpu import Apu
-            from ..arch.memory import GlobalMemory
+        from ..arch.gpu import Apu
+        from ..arch.memory import GlobalMemory
 
-            mem = GlobalMemory()
-            wl.setup(mem)
-            apu = Apu(n_cus=self.n_cus, memory=mem, max_cycles=2_000_000)
-            apu.inject_fault(spec.wf, spec.reg, spec.lane, spec.bitmask, spec.cycle)
+        # Setup failures happen before any fault lands: they are harness
+        # bugs and propagate (the runtime reports them as INFRA_ERROR).
+        wl = self.workload_cls(seed=self.seed)
+        mem = GlobalMemory()
+        wl.setup(mem)
+        apu = Apu(n_cus=self.n_cus, memory=mem, max_cycles=self.max_cycles)
+        apu.inject_fault(spec.wf, spec.reg, spec.lane, spec.bitmask, spec.cycle)
+        try:
             wl.launch(apu)
             apu.finish()
-        except Exception:
-            return InjectionOutcome.CRASH
+        except Exception as exc:
+            # Post-injection exceptions are fault consequences: a cycle
+            # budget overrun is a hang, a simulator trap is a crash.
+            # Anything the taxonomy pins on the harness still propagates.
+            outcome = classify_exception(exc)
+            if outcome == TaskOutcome.SIM_HANG:
+                return InjectionOutcome.HANG
+            if outcome == TaskOutcome.SIM_CRASH:
+                return InjectionOutcome.CRASH
+            raise
         got = b"".join(
             mem.data[b : b + sz].tobytes()
             for b, sz in (mem.buffer(n) for n in wl.outputs)
         )
         return InjectionOutcome.MASKED if got == self.golden else InjectionOutcome.SDC
+
+
+# -- worker-process entry points (must be module-level for spawn pickling) ----
+
+_WORKER_RUNNER: Optional[_Runner] = None
+
+
+def _init_injection_worker(
+    benchmark: str, seed: int, n_cus: int, max_cycles: int
+) -> None:
+    """Build this worker's runner (golden run + targeting data) once."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = _Runner(
+        REGISTRY[benchmark], seed, n_cus, max_cycles=max_cycles
+    )
+
+
+def _injection_task(spec: InjectionSpec) -> str:
+    return _WORKER_RUNNER.inject(spec)
+
+
+def _make_executor(
+    runner: _Runner,
+    benchmark: str,
+    seed: int,
+    n_cus: int,
+    max_cycles: int,
+    jobs: int,
+    timeout: Optional[float],
+    retry: Optional[RetryPolicy],
+    journal: Optional[Union[Journal, str]],
+) -> Executor:
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = inline)")
+    if jobs >= 1:
+        return Executor(
+            _injection_task,
+            jobs=jobs,
+            timeout=timeout,
+            retry=retry,
+            journal=journal,
+            initializer=_init_injection_worker,
+            initargs=(benchmark, seed, n_cus, max_cycles),
+        )
+    # Inline: reuse the parent's runner (one golden run total).
+    return Executor(runner.inject, jobs=0, retry=retry, journal=journal)
+
+
+def _tally(
+    campaign: BenchmarkCampaign, result: TaskResult
+) -> Optional[str]:
+    """Map a runtime result to an injection verdict; count failures."""
+    if result.outcome == TaskOutcome.OK:
+        return result.value
+    verdict = _TASK_TO_VERDICT.get(result.outcome)
+    if verdict is not None:
+        return verdict
+    campaign.failures[result.outcome] = (
+        campaign.failures.get(result.outcome, 0) + 1
+    )
+    return None
 
 
 def run_campaign(
@@ -146,46 +305,99 @@ def run_campaign(
     max_groups_per_mode: int = 20,
     seed: int = 0,
     n_cus: int = 2,
+    jobs: int = 0,
+    timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[Union[Journal, str]] = None,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> BenchmarkCampaign:
     """The Table II procedure for one benchmark.
 
     ``n_single`` random single-bit injections find SDC ACE bits; each SDC ACE
     bit seeds one multi-bit group per mode width (the bit plus its physical
     neighbours), capped at ``max_groups_per_mode`` groups per mode.
+
+    ``jobs``, ``timeout``, ``retry`` and ``journal`` configure the campaign
+    runtime: ``jobs >= 1`` runs injections in that many isolated worker
+    processes, ``timeout`` bounds each simulation's wall-clock time,
+    ``retry`` governs re-execution of infrastructure failures, and
+    ``journal`` (a path or :class:`~repro.runtime.Journal`) checkpoints
+    every injection so an interrupted campaign can be resumed by re-running
+    the same call.  All task ids are derived from the seeded spec sequence,
+    so a resumed campaign reproduces the uninterrupted result exactly.
     """
     if benchmark not in REGISTRY:
         raise KeyError(f"unknown benchmark {benchmark!r}")
-    runner = _Runner(REGISTRY[benchmark], seed, n_cus)
+    runner = _Runner(REGISTRY[benchmark], seed, n_cus, max_cycles=max_cycles)
     rng = np.random.default_rng(seed + 0xFA117)
     out = BenchmarkCampaign(benchmark, n_single_injections=n_single)
-    for _ in range(n_single):
-        spec = runner.random_spec(rng)
-        verdict = runner.inject(spec)
-        out.single_outcomes[verdict] = out.single_outcomes.get(verdict, 0) + 1
-        if verdict == InjectionOutcome.SDC:
-            out.sdc_ace_bits.append(spec)
-    for m in modes:
-        injected = 0
-        interfering = 0
-        for base in out.sdc_ace_bits[:max_groups_per_mode]:
-            start = min(base.bits[0], 32 - m)
-            group = InjectionSpec(
-                base.wf, base.reg, base.lane,
-                tuple(range(start, start + m)), base.cycle,
+    singles = [runner.random_spec(rng) for _ in range(n_single)]
+    with _make_executor(
+        runner, benchmark, seed, n_cus, max_cycles,
+        jobs, timeout, retry, journal,
+    ) as executor:
+        single_tasks = [
+            Task(
+                id=f"{benchmark}/single/{i:05d}",
+                payload=spec,
+                meta=spec.to_dict(),
             )
-            verdict = runner.inject(group)
-            injected += 1
-            # The group contains a proven SDC ACE bit; a masked outcome means
-            # the extra flips cancelled the corruption: ACE interference.
+            for i, spec in enumerate(singles)
+        ]
+        results = executor.run(single_tasks)
+        for task, spec in zip(single_tasks, singles):
+            verdict = _tally(out, results[task.id])
+            if verdict is None:
+                continue
+            out.single_outcomes[verdict] = (
+                out.single_outcomes.get(verdict, 0) + 1
+            )
+            if verdict == InjectionOutcome.SDC:
+                out.sdc_ace_bits.append(spec)
+        # All mode widths go through one executor pass so process-mode
+        # workers (each paying a golden-run initialisation) spawn once.
+        bases = out.sdc_ace_bits[:max_groups_per_mode]
+        group_tasks: List[Tuple[int, Task]] = []
+        for m in modes:
+            for j, base in enumerate(bases):
+                start = min(base.bits[0], 32 - m)
+                g = InjectionSpec(
+                    base.wf, base.reg, base.lane,
+                    tuple(range(start, start + m)), base.cycle,
+                )
+                group_tasks.append((m, Task(
+                    id=f"{benchmark}/multi/{m}/{j:05d}",
+                    payload=g,
+                    meta=g.to_dict(),
+                )))
+        results = executor.run(t for _, t in group_tasks)
+        tallies = {m: [0, 0] for m in modes}
+        for m, task in group_tasks:
+            verdict = _tally(out, results[task.id])
+            if verdict is None:
+                continue
+            tallies[m][0] += 1
+            # The group contains a proven SDC ACE bit; a masked outcome
+            # means the extra flips cancelled the corruption: ACE
+            # interference.
             if verdict == InjectionOutcome.MASKED:
-                interfering += 1
-        out.multibit[m] = (injected, interfering)
+                tallies[m][1] += 1
+        for m in modes:
+            out.multibit[m] = tuple(tallies[m])
     return out
 
 
 def ace_interference_study(
     benchmarks: Optional[Sequence[str]] = None, **kwargs
 ) -> List[BenchmarkCampaign]:
-    """Run the Table II study over the AMD OpenCL sample suite."""
+    """Run the Table II study over the AMD OpenCL sample suite.
+
+    Runtime options (``jobs``, ``timeout``, ``retry``, ``journal``) pass
+    through to :func:`run_campaign`; a single shared journal covers the
+    whole study because task ids are namespaced per benchmark.
+    """
     names = benchmarks if benchmarks is not None else OPENCL_SAMPLES
-    return [run_campaign(b, **kwargs) for b in names]
+    journal = kwargs.pop("journal", None)
+    if journal is not None and not isinstance(journal, Journal):
+        journal = Journal(journal)
+    return [run_campaign(b, journal=journal, **kwargs) for b in names]

@@ -1,0 +1,35 @@
+"""Fault-tolerant campaign runtime.
+
+Process-isolated task execution with wall-clock timeouts, bounded
+retries, a structured outcome taxonomy, and a JSONL checkpoint journal
+that makes long injection campaigns and AVF sweeps restartable.
+"""
+
+from .errors import (
+    ExecutorError,
+    InfraError,
+    SimulationCrash,
+    SimulationError,
+    SimulationHang,
+    TaskOutcome,
+    classify_exception,
+)
+from .executor import Executor, Task, TaskResult, run_tasks
+from .journal import Journal
+from .retry import RetryPolicy
+
+__all__ = [
+    "Executor",
+    "ExecutorError",
+    "InfraError",
+    "Journal",
+    "RetryPolicy",
+    "SimulationCrash",
+    "SimulationError",
+    "SimulationHang",
+    "Task",
+    "TaskOutcome",
+    "TaskResult",
+    "classify_exception",
+    "run_tasks",
+]

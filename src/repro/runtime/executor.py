@@ -1,0 +1,483 @@
+"""Fault-tolerant task executor for injection campaigns and AVF sweeps.
+
+Every campaign-scale entry point dispatches its work through an
+:class:`Executor`, which provides, in one place:
+
+* **process isolation** — tasks run in worker processes created with the
+  ``spawn`` start method, so a hung or segfaulting simulation cannot take
+  the campaign driver down with it;
+* **wall-clock timeouts** — a worker that exceeds its per-task budget is
+  killed and reaped, and the task surfaces as ``TIMEOUT``;
+* **bounded retries** — infrastructure failures (worker death, timeout)
+  are re-queued per a :class:`~repro.runtime.retry.RetryPolicy`; semantic
+  outcomes are never retried;
+* **checkpoint/resume** — with a :class:`~repro.runtime.journal.Journal`,
+  every final result is durably appended, and a re-run skips tasks the
+  journal already holds;
+* **graceful degradation** — a task that exhausts its retries yields a
+  failure-labelled :class:`TaskResult` instead of an exception, so one
+  broken injection cannot abort a thousand good ones.
+
+``jobs=0`` selects *inline* mode: tasks run in the calling process with
+the same taxonomy, retry and journal behaviour but no isolation (and
+therefore no timeout enforcement).  Inline mode is the fast default for
+small campaigns; process mode additionally parallelises across
+``jobs`` workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as _conn_wait
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from .errors import ExecutorError, TaskOutcome, classify_exception
+from .journal import Journal, PathLike
+from .retry import RetryPolicy
+
+__all__ = ["Task", "TaskResult", "Executor", "run_tasks"]
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: an id (journal key), a payload, and provenance."""
+
+    id: str
+    payload: Any = None
+    #: JSON-safe provenance (e.g. the injection spec) recorded in the journal
+    meta: Optional[dict] = None
+
+
+@dataclass
+class TaskResult:
+    """Final, post-retry result of one task."""
+
+    task_id: str
+    outcome: str
+    value: Any = None
+    error: str = ""
+    attempts: int = 1
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == TaskOutcome.OK
+
+    def to_record(self, meta: Optional[dict] = None) -> dict:
+        rec = {
+            "task": self.task_id,
+            "outcome": self.outcome,
+            "value": self.value,
+            "error": self.error,
+            "attempts": self.attempts,
+            "duration": round(self.duration, 6),
+        }
+        if meta:
+            rec["meta"] = meta
+        return rec
+
+    @classmethod
+    def from_record(cls, rec: dict) -> "TaskResult":
+        return cls(
+            task_id=rec["task"],
+            outcome=rec["outcome"],
+            value=rec.get("value"),
+            error=rec.get("error", ""),
+            attempts=int(rec.get("attempts", 1)),
+            duration=float(rec.get("duration", 0.0)),
+        )
+
+
+def _worker_main(conn: Connection, fn, initializer, initargs) -> None:
+    """Worker process loop: init once, then evaluate tasks until EOF."""
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+    except BaseException as exc:  # report init failure, don't hang the parent
+        _safe_send(conn, ("init_error", f"{type(exc).__name__}: {exc}"))
+        return
+    _safe_send(conn, ("ready", None))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        try:
+            value = fn(msg)
+        except Exception as exc:
+            _safe_send(
+                conn,
+                (classify_exception(exc), f"{type(exc).__name__}: {exc}"),
+            )
+        else:
+            _safe_send(conn, (TaskOutcome.OK, value))
+
+
+def _safe_send(conn: Connection, msg) -> None:
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError):
+        pass
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("proc", "conn", "state", "task", "attempt", "start",
+                 "deadline", "prior_duration")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.state = "starting"  # starting | idle | busy
+        self.task: Optional[Task] = None
+        self.attempt = 0
+        self.start = 0.0
+        self.deadline = _INFINITY
+        self.prior_duration = 0.0
+
+
+@dataclass
+class _Pending:
+    """A task awaiting (re-)execution."""
+
+    task: Task
+    attempt: int = 1
+    not_before: float = 0.0
+    duration: float = 0.0  # accumulated across failed attempts
+
+
+class Executor:
+    """Runs tasks through isolated workers (or inline) with retries,
+    timeouts and journaling.  See the module docstring for semantics."""
+
+    def __init__(
+        self,
+        fn: Optional[Callable[[Any], Any]] = None,
+        *,
+        jobs: int = 0,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[Union[Journal, PathLike]] = None,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: tuple = (),
+        mp_context: str = "spawn",
+    ) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = inline)")
+        self.fn = fn
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.journal = (
+            journal if isinstance(journal, Journal) or journal is None
+            else Journal(journal)
+        )
+        self.initializer = initializer
+        self.initargs = initargs
+        self.mp_context = mp_context
+        if timeout is not None and jobs == 0:
+            warnings.warn(
+                "timeout requires process isolation (jobs >= 1); "
+                "inline tasks will not be interrupted",
+                stacklevel=2,
+            )
+
+    @property
+    def inline(self) -> bool:
+        return self.jobs == 0
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Iterable[Task],
+        fn: Optional[Callable[[Any], Any]] = None,
+    ) -> Dict[str, TaskResult]:
+        """Execute ``tasks``, returning final results keyed by task id.
+
+        Tasks already present in the journal are *not* re-executed; their
+        journaled results are returned as-is, which is what makes a killed
+        campaign resumable and deterministic.
+        """
+        fn = fn or self.fn
+        if fn is None:
+            raise ValueError("no task function: pass fn to Executor or run()")
+        tasks = list(tasks)
+        ids = [t.id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate task ids")
+        results: Dict[str, TaskResult] = {}
+        journaled = self.journal.load() if self.journal else {}
+        pending = []
+        for t in tasks:
+            rec = journaled.get(t.id)
+            if rec is not None:
+                results[t.id] = TaskResult.from_record(rec)
+            else:
+                pending.append(t)
+        if pending:
+            if self.inline:
+                self._run_inline(fn, pending, results)
+            else:
+                self._run_isolated(fn, pending, results)
+        return results
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- shared -------------------------------------------------------------
+
+    def _finalize(
+        self, task: Task, result: TaskResult, results: Dict[str, TaskResult]
+    ) -> None:
+        results[task.id] = result
+        if self.journal is not None:
+            self.journal.append(result.to_record(task.meta))
+
+    # -- inline mode --------------------------------------------------------
+
+    def _run_inline(
+        self, fn, pending: List[Task], results: Dict[str, TaskResult]
+    ) -> None:
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        for task in pending:
+            attempt = 0
+            total = 0.0
+            while True:
+                attempt += 1
+                t0 = time.monotonic()
+                try:
+                    value = fn(task.payload)
+                    outcome, error = TaskOutcome.OK, ""
+                except Exception as exc:
+                    value = None
+                    outcome = classify_exception(exc)
+                    error = f"{type(exc).__name__}: {exc}"
+                total += time.monotonic() - t0
+                if not self.retry.should_retry(outcome, attempt):
+                    self._finalize(
+                        task,
+                        TaskResult(task.id, outcome, value, error,
+                                   attempts=attempt, duration=total),
+                        results,
+                    )
+                    break
+                time.sleep(self.retry.delay(task.id, attempt))
+
+    # -- process mode -------------------------------------------------------
+
+    def _run_isolated(
+        self, fn, pending: List[Task], results: Dict[str, TaskResult]
+    ) -> None:
+        ctx = mp.get_context(self.mp_context)
+        queue: deque = deque(_Pending(t) for t in pending)
+        n_workers = min(self.jobs, len(pending))
+        workers = [self._spawn(ctx, fn) for _ in range(n_workers)]
+        n_done = 0
+        total = len(pending)
+        try:
+            while n_done < total:
+                now = time.monotonic()
+                self._dispatch(queue, workers, ctx, fn, now)
+                self._pump(queue, workers, results, ctx, fn)
+                n_done = len([t for t in pending if t.id in results])
+        finally:
+            self._shutdown(workers)
+
+    def _spawn(self, ctx, fn) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, fn, self.initializer, self.initargs),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def _dispatch(self, queue, workers, ctx, fn, now) -> None:
+        """Hand runnable tasks to idle workers."""
+        for i, w in enumerate(workers):
+            if w.state != "idle" or not queue:
+                continue
+            entry = self._pop_runnable(queue, now)
+            if entry is None:
+                break
+            try:
+                w.conn.send(entry.task.payload)
+            except (BrokenPipeError, OSError):
+                # Worker silently died while idle: replace it, requeue.
+                self._reap(w)
+                workers[i] = self._spawn(ctx, fn)
+                queue.appendleft(entry)
+                continue
+            w.state = "busy"
+            w.task = entry.task
+            w.attempt = entry.attempt
+            w.start = now
+            w.deadline = (
+                now + self.timeout if self.timeout is not None else _INFINITY
+            )
+            w.prior_duration = entry.duration
+
+    @staticmethod
+    def _pop_runnable(queue: deque, now: float) -> Optional[_Pending]:
+        for _ in range(len(queue)):
+            entry = queue.popleft()
+            if entry.not_before <= now:
+                return entry
+            queue.append(entry)
+        return None
+
+    def _pump(self, queue, workers, results, ctx, fn) -> None:
+        """Wait for worker messages / deadlines and process them."""
+        now = time.monotonic()
+        wake_times = [
+            w.deadline for w in workers
+            if w.state == "busy" and w.deadline != _INFINITY
+        ]
+        wake_times += [e.not_before for e in queue if e.not_before > now]
+        conns = [w.conn for w in workers if w.state in ("starting", "busy")]
+        timeout = None
+        if wake_times:
+            timeout = max(0.0, min(wake_times) - now)
+        if conns:
+            ready = _conn_wait(conns, timeout=timeout)
+        else:
+            time.sleep(min(timeout, 0.05) if timeout else 0.01)
+            ready = []
+        for conn in ready:
+            w = next(w for w in workers if w.conn is conn)
+            try:
+                kind, data = conn.recv()
+            except (EOFError, OSError):
+                self._on_worker_exit(w, workers, queue, results, ctx, fn)
+                continue
+            if kind == "ready":
+                w.state = "idle"
+            elif kind == "init_error":
+                self._shutdown(workers)
+                raise ExecutorError(f"worker initialisation failed: {data}")
+            else:
+                self._on_attempt_done(w, kind, data, queue, results)
+        # Enforce wall-clock deadlines.
+        now = time.monotonic()
+        for i, w in enumerate(workers):
+            if w.state == "busy" and now >= w.deadline:
+                task, attempt = w.task, w.attempt
+                duration = now - w.start + w.prior_duration
+                self._reap(w)
+                workers[i] = self._spawn(ctx, fn)
+                self._settle_failure(
+                    task, attempt, TaskOutcome.TIMEOUT,
+                    f"killed after {self.timeout:.3f}s wall-clock",
+                    duration, queue, results,
+                )
+
+    def _on_worker_exit(self, w, workers, queue, results, ctx, fn) -> None:
+        """The worker's pipe broke: it died (segfault, OOM-kill, exit)."""
+        task, attempt, start = w.task, w.attempt, w.start
+        state = w.state
+        self._reap(w)
+        idx = workers.index(w)
+        if state == "starting":
+            self._shutdown(workers)
+            raise ExecutorError(
+                "worker died during initialisation "
+                f"(exit code {w.proc.exitcode})"
+            )
+        workers[idx] = self._spawn(ctx, fn)
+        if state == "busy" and task is not None:
+            duration = (
+                time.monotonic() - start + w.prior_duration
+            )
+            self._settle_failure(
+                task, attempt, TaskOutcome.WORKER_DIED,
+                f"worker exited with code {w.proc.exitcode}",
+                duration, queue, results,
+            )
+
+    def _on_attempt_done(self, w, outcome, data, queue, results) -> None:
+        task, attempt = w.task, w.attempt
+        duration = (
+            time.monotonic() - w.start + w.prior_duration
+        )
+        w.state = "idle"
+        w.task = None
+        if outcome == TaskOutcome.OK:
+            self._finalize(
+                task,
+                TaskResult(task.id, outcome, data, attempts=attempt,
+                           duration=duration),
+                results,
+            )
+        else:
+            self._settle_failure(
+                task, attempt, outcome, data, duration, queue, results
+            )
+
+    def _settle_failure(
+        self, task, attempt, outcome, error, duration, queue, results
+    ) -> None:
+        """Retry an attempt failure if policy allows, else finalise it."""
+        if self.retry.should_retry(outcome, attempt):
+            queue.append(
+                _Pending(
+                    task,
+                    attempt=attempt + 1,
+                    not_before=(
+                        time.monotonic() + self.retry.delay(task.id, attempt)
+                    ),
+                    duration=duration,
+                )
+            )
+        else:
+            self._finalize(
+                task,
+                TaskResult(task.id, outcome, None, error,
+                           attempts=attempt, duration=duration),
+                results,
+            )
+
+    def _reap(self, w: _Worker) -> None:
+        try:
+            w.conn.close()
+        except OSError:
+            pass
+        if w.proc.is_alive():
+            w.proc.kill()
+        w.proc.join(5)
+
+    def _shutdown(self, workers: List[_Worker]) -> None:
+        for w in workers:
+            _safe_send(w.conn, None)
+        deadline = time.monotonic() + 2.0
+        for w in workers:
+            w.proc.join(max(0.0, deadline - time.monotonic()))
+            self._reap(w)
+
+
+def run_tasks(
+    fn: Callable[[Any], Any], tasks: Iterable[Task], **options
+) -> Dict[str, TaskResult]:
+    """One-shot convenience wrapper: build an Executor, run, close."""
+    with Executor(fn, **options) as ex:
+        return ex.run(tasks)

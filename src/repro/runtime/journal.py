@@ -1,0 +1,104 @@
+"""JSONL checkpoint journal: one line per completed task.
+
+The journal is the campaign's crash-consistency mechanism (the same idea
+DAVOS uses to make month-long FPGA injection runs restartable): every
+*final* task result is appended as one self-contained JSON line and
+flushed to disk, so a campaign killed at any point — including mid-write —
+can be resumed by skipping every task the journal already holds.  A
+truncated trailing line (the signature of a SIGKILL during ``write``) is
+tolerated and ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, TextIO, Union
+
+__all__ = ["Journal"]
+
+PathLike = Union[str, Path]
+
+
+class Journal:
+    """Append-only JSONL record of completed tasks, keyed by task id."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        if self.path.is_dir():
+            raise ValueError(
+                f"journal path {self.path} is a directory; pass a file path"
+            )
+        self._fh: Optional[TextIO] = None
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self) -> Dict[str, dict]:
+        """All journaled records by task id (later lines win).
+
+        Malformed *interior* lines trigger a warning; a malformed *final*
+        line is silently dropped — it is the expected residue of a driver
+        killed mid-append.
+        """
+        records: Dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        lines = self.path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                if i != len(lines) - 1:
+                    warnings.warn(
+                        f"journal {self.path}: skipping malformed line {i + 1}",
+                        stacklevel=2,
+                    )
+                continue
+            task_id = rec.get("task")
+            if isinstance(task_id, str):
+                records[task_id] = rec
+        return records
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one task record (flush + fsync per line)."""
+        if self._fh is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A journal truncated mid-line by a kill must not have the next
+            # record appended onto the partial line: seal it first.
+            needs_newline = False
+            if self.path.exists() and self.path.stat().st_size:
+                with self.path.open("rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+            self._fh = self.path.open("a")
+            if needs_newline:
+                self._fh.write("\n")
+        try:
+            line = json.dumps(record, sort_keys=True)
+        except TypeError as exc:
+            raise TypeError(
+                "journal records must be JSON-serialisable; task functions "
+                "used with a journal must return JSON-safe values "
+                f"(task {record.get('task')!r}): {exc}"
+            ) from exc
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

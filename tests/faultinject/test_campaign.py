@@ -4,8 +4,14 @@ import numpy as np
 import pytest
 
 from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v
-from repro.faultinject import InjectionOutcome, InjectionSpec, run_campaign
+from repro.faultinject import (
+    BenchmarkCampaign,
+    InjectionOutcome,
+    InjectionSpec,
+    run_campaign,
+)
 from repro.faultinject.campaign import _Runner
+from repro.runtime import TaskOutcome
 from repro.workloads import REGISTRY
 
 
@@ -89,6 +95,26 @@ class TestRunner:
             assert all(0 <= b < 32 for b in spec.bits)
             assert spec.wf in runner.windows
 
+    @pytest.mark.parametrize("n_bits", [1, 2, 3, 4, 8])
+    def test_random_spec_never_collapses_bits(self, runner, n_bits):
+        """Regression: near bit 31 the old clamping folded group members
+        into duplicates, silently flipping fewer bits than requested."""
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            spec = runner.random_spec(rng, n_bits=n_bits)
+            assert len(spec.bits) == n_bits
+            assert len(set(spec.bits)) == n_bits
+            assert spec.bits[-1] <= 31
+            assert spec.bits == tuple(
+                range(spec.bits[0], spec.bits[0] + n_bits)
+            )
+
+    def test_cycle_budget_overrun_classified_as_hang(self):
+        """An injection that would exceed max_cycles is a HANG, not CRASH."""
+        r = _Runner(REGISTRY["transpose"], seed=0, n_cus=1, max_cycles=5)
+        spec = InjectionSpec(0, 200, 0, (0,), 0)
+        assert r.inject(spec) == InjectionOutcome.HANG
+
 
 class TestCampaign:
     @pytest.fixture(scope="class")
@@ -121,3 +147,56 @@ class TestCampaign:
     def test_unknown_benchmark(self):
         with pytest.raises(KeyError):
             run_campaign("nope")
+
+    def test_no_failures_in_clean_run(self, campaign):
+        assert campaign.n_failed == 0
+        assert campaign.failures == {}
+
+    def test_dict_round_trip(self, campaign):
+        assert BenchmarkCampaign.from_dict(campaign.to_dict()) == campaign
+
+
+class TestCampaignRuntime:
+    """The campaign driven through the fault-tolerant runtime."""
+
+    ARGS = dict(n_single=10, max_groups_per_mode=3, seed=0, n_cus=1)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_campaign("transpose", **self.ARGS)
+
+    def test_journaled_run_matches_plain_run(self, reference, tmp_path):
+        journaled = run_campaign(
+            "transpose", journal=tmp_path / "j.jsonl", **self.ARGS
+        )
+        assert journaled == reference
+
+    def test_killed_campaign_resumes_identically(self, reference, tmp_path):
+        """Truncate the journal mid-record (the SIGKILL signature) and
+        re-run: the result must equal the uninterrupted campaign's."""
+        journal = tmp_path / "j.jsonl"
+        run_campaign("transpose", journal=journal, **self.ARGS)
+        lines = journal.read_text().splitlines()
+        journal.write_text(
+            "\n".join(lines[:5]) + "\n" + lines[5][: len(lines[5]) // 2]
+        )
+        resumed = run_campaign("transpose", journal=journal, **self.ARGS)
+        assert resumed == reference
+
+    def test_process_isolation_matches_inline(self, reference):
+        isolated = run_campaign(
+            "transpose", jobs=2, timeout=120, **self.ARGS
+        )
+        assert isolated == reference
+
+    def test_timeout_surfaces_in_failure_breakdown(self):
+        """A simulation killed at its wall-clock budget becomes a TIMEOUT
+        failure with provenance — the campaign completes regardless."""
+        c = run_campaign(
+            "transpose", n_single=3, max_groups_per_mode=1, seed=0,
+            n_cus=1, jobs=1, timeout=0.01,
+        )
+        assert c.failures.get(TaskOutcome.TIMEOUT) == 3
+        assert c.n_failed == 3
+        assert c.single_outcomes == {}
+        assert c.multibit == {2: (0, 0), 3: (0, 0), 4: (0, 0)}

@@ -128,6 +128,24 @@ class TestValidationCampaign:
         with pytest.raises(KeyError):
             validate_memory_avf("nope")
 
+    def test_journaled_run_matches_and_resumes(self, tmp_path):
+        plain = validate_memory_avf("vectoradd", n_injections=12, n_cus=1)
+        journal = tmp_path / "val.jsonl"
+        journaled = validate_memory_avf(
+            "vectoradd", n_injections=12, n_cus=1, journal=journal
+        )
+        assert journaled == plain
+        assert journal.read_text().count("\n") == 12
+        # A resumed run replays the journal instead of re-injecting.
+        resumed = validate_memory_avf(
+            "vectoradd", n_injections=12, n_cus=1, journal=journal
+        )
+        assert resumed == plain
+
+    def test_clean_run_has_no_failures(self):
+        r = validate_memory_avf("vectoradd", n_injections=5, n_cus=1)
+        assert r.n_failed == 0 and r.failures == {} and r.hang == 0
+
     def test_result_statistics(self):
         r = ValidationResult("x", (0, 10), 0.5, 100, sdc=25, masked=75)
         assert r.observed_rate == 0.25

@@ -78,3 +78,55 @@ class TestCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCampaignRuntimeFlags:
+    """The fault-tolerant runtime options on ``inject`` and ``campaign``."""
+
+    def test_inject_isolated_with_resume(self, capsys, tmp_path):
+        """The acceptance path: --jobs/--timeout/--retries/--resume end to
+        end on an OpenCL-sample benchmark, then a resumed re-run."""
+        journal = tmp_path / "campaign.jsonl"
+        argv = [
+            "inject", "transpose", "--singles", "4", "--groups", "2",
+            "--cus", "1", "--jobs", "2", "--timeout", "60",
+            "--retries", "1", "--resume", str(journal),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "SDC ACE bits" in first
+        assert journal.exists() and journal.read_text().count("\n") >= 4
+        # Everything is journaled now, so the re-run replays the journal.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_campaign_subcommand(self, capsys, tmp_path):
+        assert main(
+            ["campaign", "transpose", "vectoradd", "--singles", "3",
+             "--groups", "1", "--cus", "1",
+             "--resume", str(tmp_path / "suite.jsonl")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "benchmark: transpose" in out
+        assert "benchmark: vectoradd" in out
+        assert "total SDC ACE bits" in out
+
+    def test_timeout_without_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "transpose", "--timeout", "5"])
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "transpose", "--jobs", "-1"])
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "transpose", "--retries", "-2"])
+
+    def test_directory_journal_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["inject", "transpose", "--resume", str(tmp_path)])
+
+    def test_campaign_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "transpose", "not-a-benchmark"])

@@ -2,13 +2,14 @@
 
 import pytest
 
-from repro.core import AvfStudy, FaultMode, Parity
+from repro.core import AvfStudy, FaultMode, Parity, SecDed
 from repro.experiments import (
     SCALED_L1,
     SCALED_L2,
     StudyCache,
     build_study,
     scaled_apu_kwargs,
+    sweep_benchmarks,
 )
 
 
@@ -50,3 +51,27 @@ class TestStudyCache:
         cache = StudyCache()
         res = cache("vectoradd").cache_avf("l2", FaultMode.linear(1), Parity())
         assert 0 <= res.total_avf <= 1
+
+
+class TestSweepBenchmarks:
+    KWARGS = dict(
+        modes=[FaultMode.linear(1), FaultMode.linear(2)],
+        schemes=[Parity(), SecDed()],
+    )
+
+    def test_grid_covers_benchmarks(self):
+        points, failed = sweep_benchmarks(["vectoradd"], "l2", **self.KWARGS)
+        assert failed == {}
+        assert len(points["vectoradd"]) == 4
+        assert {p.structure for p in points["vectoradd"]} == {"l2"}
+
+    def test_journaled_grid_resumes(self, tmp_path):
+        journal = tmp_path / "grid.jsonl"
+        first, _ = sweep_benchmarks(
+            ["vectoradd"], "l2", journal=journal, **self.KWARGS
+        )
+        resumed, failed = sweep_benchmarks(
+            ["vectoradd"], "l2", journal=journal, **self.KWARGS
+        )
+        assert failed == {}
+        assert resumed == first
