@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_metrics, get_tracer
 from .cache import L1_CONFIG, L2_CONFIG, CacheConfig, MemSystem
 from .isa import WAVEFRONT_LANES, Instr, Program
 from .memory import GlobalMemory, Lds
@@ -232,9 +233,18 @@ class Apu:
             wf.vregs[1] = _LANES.astype(np.uint32)           # v1 = lane id
             self.cus[i % len(self.cus)].pending.append(wf)
         n_before = len(self.records)
-        self._run()
+        with get_tracer().span("kernel", kernel=name, wavefronts=n_wfs) as sp:
+            self._run()
         stats.instructions = len(self.records) - n_before
         stats.end_cycle = self.cycle
+        # The span's args dict is shared with the recorded event, so the
+        # counts become visible in the exported trace.
+        sp.set(instructions=stats.instructions, cycles=stats.cycles)
+        mx = get_metrics()
+        if mx:
+            mx.counter("sim.kernel_launches").inc()
+            mx.counter("sim.instructions").inc(stats.instructions)
+            mx.counter("sim.cycles").inc(stats.cycles)
         self.launches.append(stats)
         return stats
 
@@ -274,6 +284,14 @@ class Apu:
         self.memsys.flush(self.cycle)
         self.cycle += 1
         self._finished = True
+        mx = get_metrics()
+        if mx:
+            mx.counter("sim.l1_hits").inc(sum(c.hits for c in self.memsys.l1s))
+            mx.counter("sim.l1_misses").inc(
+                sum(c.misses for c in self.memsys.l1s)
+            )
+            mx.counter("sim.l2_hits").inc(self.memsys.l2.hits)
+            mx.counter("sim.l2_misses").inc(self.memsys.l2.misses)
         return self.cycle
 
     def _run(self) -> None:

@@ -18,10 +18,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
+from . import obs
 from .core import (
     SCHEMES,
     AvfStudy,
@@ -31,7 +33,7 @@ from .core import (
     figure2_sweep,
     soft_error_rate,
 )
-from .experiments import scaled_apu_kwargs
+from .experiments import observability_report, scaled_apu_kwargs
 from .workloads import names, run
 
 __all__ = ["main"]
@@ -65,6 +67,15 @@ def _measure(study: AvfStudy, args, mode: FaultMode):
     )
 
 
+def _emit(args, payload: dict, render) -> None:
+    """One output path for every reporting subcommand: machine-readable
+    JSON when ``--json`` was given, the text renderer otherwise."""
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        render()
+
+
 def _cmd_list(args) -> int:
     for name in names():
         print(name)
@@ -74,34 +85,70 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     result = run(args.workload, seed=args.seed, n_cus=args.cus,
                  apu_kwargs=scaled_apu_kwargs() if args.scaled else None)
-    print(f"workload:      {result.name}")
-    print(f"launches:      {len(result.stats)}")
-    print(f"instructions:  {result.total_instructions}")
-    print(f"cycles:        {result.end_cycle}")
-    for l1 in result.apu.memsys.l1s:
-        total = l1.hits + l1.misses
-        rate = l1.hits / total if total else 0.0
-        print(f"{l1.name} hit rate:  {rate:.1%} ({l1.hits}/{total})")
     l2 = result.apu.memsys.l2
-    total = l2.hits + l2.misses
-    print(f"l2 hit rate:   {l2.hits / total if total else 0:.1%} "
-          f"({l2.hits}/{total})")
-    print("output verified against numpy reference: OK")
+    caches = {
+        l1.name: {"hits": l1.hits, "misses": l1.misses}
+        for l1 in result.apu.memsys.l1s
+    }
+    caches["l2"] = {"hits": l2.hits, "misses": l2.misses}
+    payload = {
+        "workload": result.name,
+        "launches": len(result.stats),
+        "instructions": result.total_instructions,
+        "cycles": result.end_cycle,
+        "caches": caches,
+        "verified": True,
+    }
+
+    def render() -> None:
+        print(f"workload:      {result.name}")
+        print(f"launches:      {len(result.stats)}")
+        print(f"instructions:  {result.total_instructions}")
+        print(f"cycles:        {result.end_cycle}")
+        for l1 in result.apu.memsys.l1s:
+            total = l1.hits + l1.misses
+            rate = l1.hits / total if total else 0.0
+            print(f"{l1.name} hit rate:  {rate:.1%} ({l1.hits}/{total})")
+        total = l2.hits + l2.misses
+        print(f"l2 hit rate:   {l2.hits / total if total else 0:.1%} "
+              f"({l2.hits}/{total})")
+        print("output verified against numpy reference: OK")
+
+    _emit(args, payload, render)
     return 0
 
 
 def _cmd_avf(args) -> int:
     study = _build_study(args)
     res = _measure(study, args, args.mode)
-    print(f"workload:   {args.workload}")
-    print(f"structure:  {args.structure}")
-    print(f"fault mode: {res.mode.name}  scheme: {res.scheme}  "
-          f"style: {args.style} x{args.factor}")
-    print(f"groups:     {res.n_groups}   window: {res.window_cycles} cycles")
-    print(f"DUE MB-AVF:   {res.due_avf:.6f} "
-          f"(true {res.true_due_avf:.6f}, false {res.false_due_avf:.6f})")
-    print(f"SDC MB-AVF:   {res.sdc_avf:.6f}")
-    print(f"total AVF:    {res.total_avf:.6f}")
+    payload = {
+        "workload": args.workload,
+        "structure": args.structure,
+        "mode": res.mode.name,
+        "scheme": res.scheme,
+        "style": args.style,
+        "factor": args.factor,
+        "groups": res.n_groups,
+        "window_cycles": res.window_cycles,
+        "due_avf": res.due_avf,
+        "true_due_avf": res.true_due_avf,
+        "false_due_avf": res.false_due_avf,
+        "sdc_avf": res.sdc_avf,
+        "total_avf": res.total_avf,
+    }
+
+    def render() -> None:
+        print(f"workload:   {args.workload}")
+        print(f"structure:  {args.structure}")
+        print(f"fault mode: {res.mode.name}  scheme: {res.scheme}  "
+              f"style: {args.style} x{args.factor}")
+        print(f"groups:     {res.n_groups}   window: {res.window_cycles} cycles")
+        print(f"DUE MB-AVF:   {res.due_avf:.6f} "
+              f"(true {res.true_due_avf:.6f}, false {res.false_due_avf:.6f})")
+        print(f"SDC MB-AVF:   {res.sdc_avf:.6f}")
+        print(f"total AVF:    {res.total_avf:.6f}")
+
+    _emit(args, payload, render)
     return 0
 
 
@@ -113,15 +160,38 @@ def _cmd_ser(args) -> int:
         res = _measure(study, args, FaultMode.linear(m))
         avf_by_mode[mode_name] = (res.due_avf, res.sdc_avf)
     ser = soft_error_rate(TABLE_III, avf_by_mode, args.structure)
-    print(f"{'mode':<6} {'rate':>7} {'DUE AVF':>9} {'SDC AVF':>9}")
-    for mode_name, fit in sorted(
-        TABLE_III.items(), key=lambda kv: int(kv[0].split("x")[0])
-    ):
-        d, s_ = avf_by_mode[mode_name]
-        print(f"{mode_name:<6} {fit:7.2f} {d:9.5f} {s_:9.5f}")
-    print(f"SER ({args.structure}, {args.scheme} {args.style} x{args.factor}): "
-          f"DUE {ser.due_fit:.4f}  SDC {ser.sdc_fit:.4f}  "
-          f"total {ser.total_fit:.4f}")
+    payload = {
+        "workload": args.workload,
+        "structure": args.structure,
+        "scheme": args.scheme,
+        "style": args.style,
+        "factor": args.factor,
+        "modes": {
+            name: {
+                "rate": TABLE_III[name],
+                "due_avf": avf_by_mode[name][0],
+                "sdc_avf": avf_by_mode[name][1],
+            }
+            for name in TABLE_III
+        },
+        "due_fit": ser.due_fit,
+        "sdc_fit": ser.sdc_fit,
+        "total_fit": ser.total_fit,
+    }
+
+    def render() -> None:
+        print(f"{'mode':<6} {'rate':>7} {'DUE AVF':>9} {'SDC AVF':>9}")
+        for mode_name, fit in sorted(
+            TABLE_III.items(), key=lambda kv: int(kv[0].split("x")[0])
+        ):
+            d, s_ = avf_by_mode[mode_name]
+            print(f"{mode_name:<6} {fit:7.2f} {d:9.5f} {s_:9.5f}")
+        print(f"SER ({args.structure}, {args.scheme} {args.style} "
+              f"x{args.factor}): "
+              f"DUE {ser.due_fit:.4f}  SDC {ser.sdc_fit:.4f}  "
+              f"total {ser.total_fit:.4f}")
+
+    _emit(args, payload, render)
     return 0
 
 
@@ -142,11 +212,22 @@ def _runtime_kwargs(args) -> dict:
         "timeout": args.timeout,
         "retry": retry,
         "journal": args.journal,
+        "progress": True,
     }
+
+
+def _resumed_notice() -> None:
+    """Tell the user how much of the campaign the journal already covered."""
+    counters = obs.get_metrics().snapshot().get("counters", {})
+    n = counters.get("runtime.tasks_resumed", 0)
+    if n:
+        print(f"resumed {n} completed tasks from journal")
 
 
 def _print_campaign(c) -> None:
     print(f"benchmark: {c.benchmark}")
+    if c.model_sdc_avf is not None:
+        print(f"  model SDC AVF (1x1, unprotected): {c.model_sdc_avf:.6f}")
     for outcome, count in sorted(c.single_outcomes.items()):
         print(f"  {outcome:<8} {count}")
     print(f"SDC ACE bits: {c.n_sdc_ace_bits}")
@@ -167,6 +248,7 @@ def _cmd_inject(args) -> int:
         max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
         **_runtime_kwargs(args),
     )
+    _resumed_notice()
     _print_campaign(c)
     return 0
 
@@ -181,6 +263,7 @@ def _cmd_campaign(args) -> int:
         max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
         **_runtime_kwargs(args),
     )
+    _resumed_notice()
     for c in campaigns:
         _print_campaign(c)
         print()
@@ -201,12 +284,38 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_mttf(args) -> int:
-    print(f"{'FIT/Mbit':>9} {'sMBF 0.1%':>12} {'sMBF 5%':>12} "
-          f"{'tMBF inf':>12} {'tMBF 100yr':>12}")
-    for r in figure2_sweep():
-        print(f"{r.raw_fit_per_mbit:9.2f} {r.mttf_smbf_01pct:12.3e} "
-              f"{r.mttf_smbf_5pct:12.3e} {r.mttf_tmbf_unbounded:12.3e} "
-              f"{r.mttf_tmbf_100yr:12.3e}")
+    rows = list(figure2_sweep())
+    payload = {
+        "rows": [
+            {
+                "raw_fit_per_mbit": r.raw_fit_per_mbit,
+                "mttf_smbf_01pct": r.mttf_smbf_01pct,
+                "mttf_smbf_5pct": r.mttf_smbf_5pct,
+                "mttf_tmbf_unbounded": r.mttf_tmbf_unbounded,
+                "mttf_tmbf_100yr": r.mttf_tmbf_100yr,
+            }
+            for r in rows
+        ]
+    }
+
+    def render() -> None:
+        print(f"{'FIT/Mbit':>9} {'sMBF 0.1%':>12} {'sMBF 5%':>12} "
+              f"{'tMBF inf':>12} {'tMBF 100yr':>12}")
+        for r in rows:
+            print(f"{r.raw_fit_per_mbit:9.2f} {r.mttf_smbf_01pct:12.3e} "
+                  f"{r.mttf_smbf_5pct:12.3e} {r.mttf_tmbf_unbounded:12.3e} "
+                  f"{r.mttf_tmbf_100yr:12.3e}")
+
+    _emit(args, payload, render)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Run a workload plus one AVF measurement with full observability on,
+    then print the per-stage timing and metrics report."""
+    study = _build_study(args)
+    study.cache_avf("l1", FaultMode.linear(2), SCHEMES["parity"])
+    print(observability_report())
     return 0
 
 
@@ -229,6 +338,27 @@ def _add_measure_args(sub) -> None:
     sub.add_argument("--scheme", choices=sorted(SCHEMES), default="parity")
     sub.add_argument("--style", choices=sorted(_STYLES), default="none")
     sub.add_argument("--factor", type=int, default=1)
+
+
+def _add_obs_args(sub) -> None:
+    sub.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a span trace here on exit (.jsonl = one span per line; "
+             "any other suffix = Chrome trace-event JSON, loadable in "
+             "Perfetto / chrome://tracing)",
+    )
+    sub.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a JSON metrics snapshot (counters, gauges, histograms) "
+             "here on exit",
+    )
+
+
+def _add_json_arg(sub) -> None:
+    sub.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the text report",
+    )
 
 
 def _add_runtime_args(sub) -> None:
@@ -265,24 +395,31 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_run = subs.add_parser("run", help="run and verify a workload")
     _add_common(p_run)
+    _add_obs_args(p_run)
+    _add_json_arg(p_run)
 
     p_avf = subs.add_parser("avf", help="measure an MB-AVF")
     _add_common(p_avf)
     _add_measure_args(p_avf)
     p_avf.add_argument("--mode", type=_parse_mode, default=FaultMode.linear(2),
                        help="fault mode, e.g. 1x1, 4x1, 2x2")
+    _add_obs_args(p_avf)
+    _add_json_arg(p_avf)
 
     p_ser = subs.add_parser(
         "ser", help="soft error rate over all Table III fault modes"
     )
     _add_common(p_ser)
     _add_measure_args(p_ser)
+    _add_obs_args(p_ser)
+    _add_json_arg(p_ser)
 
     p_inj = subs.add_parser("inject", help="fault-injection campaign")
     _add_common(p_inj)
     p_inj.add_argument("--singles", type=int, default=40)
     p_inj.add_argument("--groups", type=int, default=10)
     _add_runtime_args(p_inj)
+    _add_obs_args(p_inj)
 
     p_camp = subs.add_parser(
         "campaign",
@@ -297,10 +434,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_camp.add_argument("--singles", type=int, default=40)
     p_camp.add_argument("--groups", type=int, default=10)
     _add_runtime_args(p_camp)
+    _add_obs_args(p_camp)
 
-    subs.add_parser("mttf", help="Figure 2 tMBF/sMBF MTTF table")
+    p_mttf = subs.add_parser("mttf", help="Figure 2 tMBF/sMBF MTTF table")
+    _add_json_arg(p_mttf)
+
+    p_stats = subs.add_parser(
+        "stats",
+        help="profile a workload + AVF measurement and print stage "
+             "timings and metrics",
+    )
+    _add_common(p_stats)
+    _add_obs_args(p_stats)
 
     args = parser.parse_args(argv)
+    # Validate export paths up front: a campaign must not run for an hour
+    # and then lose its trace to a typo'd directory.
+    for flag in ("trace", "metrics"):
+        path = getattr(args, flag, None)
+        if path:
+            if os.path.isdir(path):
+                parser.error(f"--{flag} {path}: is a directory")
+            parent = os.path.dirname(os.path.abspath(path))
+            if not os.path.isdir(parent):
+                parser.error(
+                    f"--{flag} {path}: directory {parent} does not exist"
+                )
     if args.command in ("inject", "campaign"):
         if args.jobs < 0:
             parser.error("--jobs must be >= 0 (0 = in-process)")
@@ -322,8 +481,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inject": _cmd_inject,
         "campaign": _cmd_campaign,
         "mttf": _cmd_mttf,
+        "stats": _cmd_stats,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    # Observability is always on for the commands whose reports read it
+    # (resumed-task notice, stats); elsewhere only when an export was asked
+    # for, so the plain paths keep their no-op instrumentation.
+    if trace or metrics or args.command in ("inject", "campaign", "stats"):
+        with obs.observe(trace=trace, metrics=metrics):
+            return handler(args)
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

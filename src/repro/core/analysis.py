@@ -21,6 +21,7 @@ import numpy as np
 
 from ..arch.gpu import Apu
 from ..arch.liveness import analyze_liveness
+from ..obs import get_tracer
 from .avf import (
     MbAvfResult,
     StructureLifetimes,
@@ -85,13 +86,14 @@ class AvfStudy:
         self.vgpr_regs = vgpr_regs
         # Liveness annotation (in place on the records).
         n_vregs_by_wf = {w: p.n_vregs for w, p in apu.wf_programs.items()}
-        analyze_liveness(
-            apu.records,
-            n_vregs_by_wf,
-            apu.memory.size,
-            self.output_ranges,
-            lds_size=apu.lds_bytes,
-        )
+        with get_tracer().span("liveness", records=len(apu.records)):
+            analyze_liveness(
+                apu.records,
+                n_vregs_by_wf,
+                apu.memory.size,
+                self.output_ranges,
+                lds_size=apu.lds_bytes,
+            )
         self._records_by_uid = {r.uid: r for r in apu.records}
         self._memcons: Optional[MemoryConsumption] = None
         self._l1_lifetimes: Optional[List[StructureLifetimes]] = None
@@ -114,36 +116,39 @@ class AvfStudy:
         if self._l1_lifetimes is None:
             self._l1_lifetimes = []
             self._l1_fills = []
-            for l1 in self.apu.memsys.l1s:
-                lt, fills = analyze_cache(
-                    l1, self._records_by_uid, self.end_cycle
-                )
-                self._l1_lifetimes.append(lt)
-                self._l1_fills.append(fills)
+            with get_tracer().span("lifetime", structure="l1"):
+                for l1 in self.apu.memsys.l1s:
+                    lt, fills = analyze_cache(
+                        l1, self._records_by_uid, self.end_cycle
+                    )
+                    self._l1_lifetimes.append(lt)
+                    self._l1_fills.append(fills)
         return self._l1_lifetimes
 
     def l2_lifetime(self) -> StructureLifetimes:
         if self._l2_lifetime is None:
             self.l1_lifetimes()  # ensure fill verdicts exist
             upstream = merge_fill_maps(self._l1_fills)
-            self._l2_lifetime, _ = analyze_cache(
-                self.apu.memsys.l2,
-                self._records_by_uid,
-                self.end_cycle,
-                memcons=self.memcons,
-                upstream_fills=upstream,
-            )
+            with get_tracer().span("lifetime", structure="l2"):
+                self._l2_lifetime, _ = analyze_cache(
+                    self.apu.memsys.l2,
+                    self._records_by_uid,
+                    self.end_cycle,
+                    memcons=self.memcons,
+                    upstream_fills=upstream,
+                )
         return self._l2_lifetime
 
     def vgpr_lifetimes(self) -> List[StructureLifetimes]:
         """One register-file lifetime per launched wavefront."""
         if self._vgpr_lifetimes is None:
-            self._vgpr_lifetimes = [
-                analyze_vgpr(
-                    self.apu.records, wf, self.vgpr_regs, self.end_cycle
-                )
-                for wf in sorted(self.apu.wf_programs)
-            ]
+            with get_tracer().span("lifetime", structure="vgpr"):
+                self._vgpr_lifetimes = [
+                    analyze_vgpr(
+                        self.apu.records, wf, self.vgpr_regs, self.end_cycle
+                    )
+                    for wf in sorted(self.apu.wf_programs)
+                ]
         return self._vgpr_lifetimes
 
     # -- layouts --------------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_metrics, get_tracer
 from .faultmodes import FaultMode
 from .intervals import AceClass, IntervalSet, Outcome, combine_outcomes, sweep_max
 from .layout import SramArray
@@ -298,9 +299,22 @@ def compute_mb_avf(
     ``series_edges`` optionally requests an AVF-over-time series with the
     given bucket boundaries (used for the paper's phase plots, Fig. 5/8).
     """
-    byte2iid, isets = _canonical_iset_ids(lifetimes)
-    sigs = _enumerate_signatures(array, byte2iid, mode)
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "enumerate",
+        structure=lifetimes.name, mode=mode.name, scheme=scheme.name,
+    ) as enum_span:
+        byte2iid, isets = _canonical_iset_ids(lifetimes)
+        sigs = _enumerate_signatures(array, byte2iid, mode)
     n_groups = array.n_groups(mode.height, mode.width)
+    enum_span.set(groups=n_groups, signatures=len(sigs))
+    if metrics:
+        # The dedup hit-rate is 1 - signatures/groups: every group beyond
+        # its signature's first is classified for free.
+        metrics.counter("avf.computations").inc()
+        metrics.counter("avf.groups_enumerated").inc(n_groups)
+        metrics.counter("avf.unique_signatures").inc(len(sigs))
 
     region_ace_cache: Dict[FrozenSet[int], IntervalSet] = {}
     region_out_cache: Dict[Tuple[int, FrozenSet[int]], IntervalSet] = {}
@@ -331,23 +345,27 @@ def compute_mb_avf(
         edges = np.asarray(series_edges, dtype=np.int64)
         series = np.zeros((len(edges) - 1, 4), dtype=np.float64)
 
-    group_cache: Dict[GroupSignature, IntervalSet] = {}
-    for sig, weight in sigs.items():
-        combined = group_cache.get(sig)
-        if combined is None:
-            region_sets = [region_outcome(n, ids) for n, ids in sig]
-            combined = combine_outcomes(
-                region_sets, due_preempts_sdc=due_preempts_sdc
+    with tracer.span("classify", signatures=len(sigs)):
+        combined_by_sig: Dict[GroupSignature, IntervalSet] = {
+            sig: combine_outcomes(
+                [region_outcome(n, ids) for n, ids in sig],
+                due_preempts_sdc=due_preempts_sdc,
             )
-            group_cache[sig] = combined
-        if not combined:
-            continue
-        for s, e, c in combined:
-            outcome_cycles[Outcome(c)] += weight * (e - s)
-        if series is not None:
-            tmp = np.zeros_like(series)
-            combined.bucket_accumulate(edges, tmp)
-            series += weight * tmp
+            for sig in sigs
+        }
+    if metrics:
+        metrics.counter("avf.regions_classified").inc(len(region_out_cache))
+    with tracer.span("integrate", signatures=len(sigs)):
+        for sig, weight in sigs.items():
+            combined = combined_by_sig[sig]
+            if not combined:
+                continue
+            for s, e, c in combined:
+                outcome_cycles[Outcome(c)] += weight * (e - s)
+            if series is not None:
+                tmp = np.zeros_like(series)
+                combined.bucket_accumulate(edges, tmp)
+                series += weight * tmp
 
     return MbAvfResult(
         structure=lifetimes.name,

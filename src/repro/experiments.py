@@ -20,6 +20,7 @@ from .core.faultmodes import FaultMode
 from .core.layout import Interleaving
 from .core.protection import ProtectionScheme
 from .core.sweep import SweepPoint, sweep_cache_avf, sweep_vgpr_avf
+from .obs import format_report, get_metrics, get_tracer
 from .runtime import Executor, Journal, RetryPolicy, Task
 from .workloads import run
 
@@ -30,6 +31,7 @@ __all__ = [
     "build_study",
     "StudyCache",
     "sweep_benchmarks",
+    "observability_report",
 ]
 
 #: 4KB, 4-way L1 per CU (the paper's 16KB scaled with the datasets).
@@ -99,6 +101,7 @@ def sweep_benchmarks(
     timeout: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     journal: Optional[Union[Journal, str]] = None,
+    progress: Union[bool, str] = False,
 ) -> Tuple[Dict[str, List[SweepPoint]], Dict[str, str]]:
     """Measure one sweep grid across many benchmarks through the runtime.
 
@@ -132,8 +135,13 @@ def sweep_benchmarks(
         retry=retry,
         journal=journal,
         initializer=_init_grid_worker,
+        progress=progress,
     ) as executor:
-        results = executor.run(tasks)
+        with get_tracer().span(
+            "sweep", structure=structure, benchmarks=len(tasks),
+            cells=len(modes) * len(schemes) * len(layouts),
+        ):
+            results = executor.run(tasks)
     points: Dict[str, List[SweepPoint]] = {}
     failed: Dict[str, str] = {}
     for name, task in zip(benchmarks, tasks):
@@ -143,3 +151,11 @@ def sweep_benchmarks(
         else:
             failed[name] = f"{r.outcome}: {r.error}"
     return points, failed
+
+
+def observability_report() -> str:
+    """Text account of the current observability session: per-stage span
+    timings plus the metrics snapshot.  Meaningful after running
+    experiments with :mod:`repro.obs` enabled (``repro stats`` does this
+    end to end)."""
+    return format_report(get_metrics(), get_tracer())

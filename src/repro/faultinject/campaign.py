@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import get_metrics, get_tracer
 from ..runtime import (
     Executor,
     Journal,
@@ -120,6 +121,10 @@ class BenchmarkCampaign:
     #: (``timeout``, ``worker_died``, ``infra_error``); these carry no
     #: verdict and are excluded from the single/multibit tallies above.
     failures: Dict[str, int] = field(default_factory=dict)
+    #: ACE model context: the unprotected single-bit VGPR SDC AVF the
+    #: injection outcomes are validated against (``None`` on records
+    #: archived before this field existed)
+    model_sdc_avf: Optional[float] = None
 
     @property
     def n_sdc_ace_bits(self) -> int:
@@ -141,6 +146,7 @@ class BenchmarkCampaign:
             "sdc_ace_bits": [s.to_dict() for s in self.sdc_ace_bits],
             "multibit": {str(m): list(v) for m, v in self.multibit.items()},
             "failures": dict(self.failures),
+            "model_sdc_avf": self.model_sdc_avf,
         }
 
     @classmethod
@@ -157,6 +163,7 @@ class BenchmarkCampaign:
                 for m, v in data["multibit"].items()
             },
             failures=dict(data.get("failures", {})),
+            model_sdc_avf=data.get("model_sdc_avf"),
         )
 
 
@@ -172,6 +179,8 @@ class _Runner:
         self.n_cus = n_cus
         self.max_cycles = max_cycles
         golden_run = run_workload(workload_cls(seed=seed), n_cus=n_cus)
+        #: kept for the ACE-model context stage of :func:`run_campaign`
+        self.golden_run = golden_run
         self.golden = self._snapshot(golden_run)
         recs = golden_run.apu.records
         # Injection targeting: wavefront activity windows + register counts.
@@ -209,31 +218,44 @@ class _Runner:
         from ..arch.gpu import Apu
         from ..arch.memory import GlobalMemory
 
-        # Setup failures happen before any fault lands: they are harness
-        # bugs and propagate (the runtime reports them as INFRA_ERROR).
-        wl = self.workload_cls(seed=self.seed)
-        mem = GlobalMemory()
-        wl.setup(mem)
-        apu = Apu(n_cus=self.n_cus, memory=mem, max_cycles=self.max_cycles)
-        apu.inject_fault(spec.wf, spec.reg, spec.lane, spec.bitmask, spec.cycle)
-        try:
-            wl.launch(apu)
-            apu.finish()
-        except Exception as exc:
-            # Post-injection exceptions are fault consequences: a cycle
-            # budget overrun is a hang, a simulator trap is a crash.
-            # Anything the taxonomy pins on the harness still propagates.
-            outcome = classify_exception(exc)
-            if outcome == TaskOutcome.SIM_HANG:
-                return InjectionOutcome.HANG
-            if outcome == TaskOutcome.SIM_CRASH:
-                return InjectionOutcome.CRASH
-            raise
-        got = b"".join(
-            mem.data[b : b + sz].tobytes()
-            for b, sz in (mem.buffer(n) for n in wl.outputs)
-        )
-        return InjectionOutcome.MASKED if got == self.golden else InjectionOutcome.SDC
+        get_metrics().counter("campaign.injections").inc()
+        with get_tracer().span(
+            "inject", wf=spec.wf, reg=spec.reg, bits=len(spec.bits),
+        ) as span:
+            # Setup failures happen before any fault lands: they are harness
+            # bugs and propagate (the runtime reports them as INFRA_ERROR).
+            wl = self.workload_cls(seed=self.seed)
+            mem = GlobalMemory()
+            wl.setup(mem)
+            apu = Apu(n_cus=self.n_cus, memory=mem, max_cycles=self.max_cycles)
+            apu.inject_fault(
+                spec.wf, spec.reg, spec.lane, spec.bitmask, spec.cycle
+            )
+            try:
+                wl.launch(apu)
+                apu.finish()
+            except Exception as exc:
+                # Post-injection exceptions are fault consequences: a cycle
+                # budget overrun is a hang, a simulator trap is a crash.
+                # Anything the taxonomy pins on the harness still propagates.
+                outcome = classify_exception(exc)
+                if outcome == TaskOutcome.SIM_HANG:
+                    span.set(verdict=InjectionOutcome.HANG)
+                    return InjectionOutcome.HANG
+                if outcome == TaskOutcome.SIM_CRASH:
+                    span.set(verdict=InjectionOutcome.CRASH)
+                    return InjectionOutcome.CRASH
+                raise
+            got = b"".join(
+                mem.data[b : b + sz].tobytes()
+                for b, sz in (mem.buffer(n) for n in wl.outputs)
+            )
+            verdict = (
+                InjectionOutcome.MASKED if got == self.golden
+                else InjectionOutcome.SDC
+            )
+            span.set(verdict=verdict)
+            return verdict
 
 
 # -- worker-process entry points (must be module-level for spawn pickling) ----
@@ -265,6 +287,7 @@ def _make_executor(
     timeout: Optional[float],
     retry: Optional[RetryPolicy],
     journal: Optional[Union[Journal, str]],
+    progress: Union[bool, str] = False,
 ) -> Executor:
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = inline)")
@@ -277,9 +300,12 @@ def _make_executor(
             journal=journal,
             initializer=_init_injection_worker,
             initargs=(benchmark, seed, n_cus, max_cycles),
+            progress=progress,
         )
     # Inline: reuse the parent's runner (one golden run total).
-    return Executor(runner.inject, jobs=0, retry=retry, journal=journal)
+    return Executor(
+        runner.inject, jobs=0, retry=retry, journal=journal, progress=progress
+    )
 
 
 def _tally(
@@ -297,6 +323,23 @@ def _tally(
     return None
 
 
+def _model_sdc_avf(runner: _Runner) -> float:
+    """ACE-model context for one benchmark: the unprotected single-bit
+    VGPR SDC AVF that the campaign's injection verdicts validate.
+
+    Runs the model side of the paper's comparison (liveness, VGPR
+    lifetimes, group enumeration, outcome integration) on the golden
+    run, so a traced campaign records the full methodology — simulate,
+    lifetime, enumerate, integrate, inject — in one timeline.
+    """
+    from ..core.analysis import AvfStudy
+    from ..core.faultmodes import FaultMode
+    from ..core.protection import SCHEMES
+
+    study = AvfStudy(runner.golden_run.apu, runner.golden_run.output_ranges)
+    return study.vgpr_avf(FaultMode.linear(1), SCHEMES["none"]).sdc_avf
+
+
 def run_campaign(
     benchmark: str,
     *,
@@ -310,6 +353,7 @@ def run_campaign(
     retry: Optional[RetryPolicy] = None,
     journal: Optional[Union[Journal, str]] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    progress: Union[bool, str] = False,
 ) -> BenchmarkCampaign:
     """The Table II procedure for one benchmark.
 
@@ -328,13 +372,19 @@ def run_campaign(
     """
     if benchmark not in REGISTRY:
         raise KeyError(f"unknown benchmark {benchmark!r}")
-    runner = _Runner(REGISTRY[benchmark], seed, n_cus, max_cycles=max_cycles)
+    tracer = get_tracer()
+    with tracer.span("golden", benchmark=benchmark):
+        runner = _Runner(
+            REGISTRY[benchmark], seed, n_cus, max_cycles=max_cycles
+        )
     rng = np.random.default_rng(seed + 0xFA117)
     out = BenchmarkCampaign(benchmark, n_single_injections=n_single)
+    with tracer.span("model", benchmark=benchmark):
+        out.model_sdc_avf = _model_sdc_avf(runner)
     singles = [runner.random_spec(rng) for _ in range(n_single)]
     with _make_executor(
         runner, benchmark, seed, n_cus, max_cycles,
-        jobs, timeout, retry, journal,
+        jobs, timeout, retry, journal, progress,
     ) as executor:
         single_tasks = [
             Task(
@@ -344,7 +394,8 @@ def run_campaign(
             )
             for i, spec in enumerate(singles)
         ]
-        results = executor.run(single_tasks)
+        with tracer.span("singles", benchmark=benchmark, n=len(single_tasks)):
+            results = executor.run(single_tasks)
         for task, spec in zip(single_tasks, singles):
             verdict = _tally(out, results[task.id])
             if verdict is None:
@@ -354,6 +405,9 @@ def run_campaign(
             )
             if verdict == InjectionOutcome.SDC:
                 out.sdc_ace_bits.append(spec)
+        get_metrics().counter("campaign.sdc_ace_bits").inc(
+            len(out.sdc_ace_bits)
+        )
         # All mode widths go through one executor pass so process-mode
         # workers (each paying a golden-run initialisation) spawn once.
         bases = out.sdc_ace_bits[:max_groups_per_mode]
@@ -370,7 +424,8 @@ def run_campaign(
                     payload=g,
                     meta=g.to_dict(),
                 )))
-        results = executor.run(t for _, t in group_tasks)
+        with tracer.span("multibit", benchmark=benchmark, n=len(group_tasks)):
+            results = executor.run(t for _, t in group_tasks)
         tallies = {m: [0, 0] for m in modes}
         for m, task in group_tasks:
             verdict = _tally(out, results[task.id])

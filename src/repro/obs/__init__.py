@@ -1,0 +1,146 @@
+"""``repro.obs`` — metrics, tracing and profiling for the whole pipeline.
+
+One observability session per process, held in module globals and
+**disabled by default**: :func:`get_metrics` returns a falsy
+:class:`~repro.obs.metrics.NullRegistry` and :func:`get_tracer` a falsy
+:class:`~repro.obs.trace.NullTracer`, whose instruments and spans are
+shared no-op singletons.  Instrumented code in the simulator, the AVF
+engine and the campaign runtime therefore stays in place permanently;
+the disabled-mode overhead contract (< 2% on the engine benchmark) is
+enforced by ``benchmarks/test_perf_obs_overhead.py``.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observe(trace="campaign.json", metrics="metrics.json"):
+        run_campaign("transpose", jobs=4)
+
+    # or manually:
+    registry, tracer = obs.enable()
+    ...
+    tracer.export_chrome("trace.json")   # open in https://ui.perfetto.dev
+    print(obs.format_report(registry, tracer))
+    obs.disable()
+
+Worker processes spawned by the campaign runtime start with a fresh
+interpreter, so observability is per-process: a parent tracer sees
+worker tasks as externally timed events, not as their internal spans.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from .progress import ProgressMeter, format_duration
+from .report import format_metrics, format_report, format_spans
+from .trace import NullTracer, NULL_TRACER, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ProgressMeter",
+    "SpanEvent",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "format_duration",
+    "format_metrics",
+    "format_report",
+    "format_spans",
+    "get_metrics",
+    "get_tracer",
+    "install",
+    "observe",
+]
+
+_metrics: MetricsRegistry = NULL_REGISTRY
+_tracer: Tracer = NULL_TRACER
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (falsy no-op when disabled)."""
+    return _metrics
+
+
+def get_tracer() -> Tracer:
+    """The process-wide span tracer (falsy no-op when disabled)."""
+    return _tracer
+
+
+def enabled() -> bool:
+    """True when either collection surface is live."""
+    return bool(_metrics) or bool(_tracer)
+
+
+def install(
+    metrics: Optional[MetricsRegistry], tracer: Optional[Tracer]
+) -> Tuple[MetricsRegistry, Tracer]:
+    """Install specific registry/tracer instances (``None`` keeps the
+    current one).  Returns what was installed; used by :func:`enable`
+    and by tests that substitute counting doubles."""
+    global _metrics, _tracer
+    if metrics is not None:
+        _metrics = metrics
+    if tracer is not None:
+        _tracer = tracer
+    return _metrics, _tracer
+
+
+def enable(
+    metrics: bool = True, tracing: bool = True
+) -> Tuple[MetricsRegistry, Tracer]:
+    """Switch collection on with fresh instances; returns (registry, tracer)."""
+    return install(
+        MetricsRegistry() if metrics else None,
+        Tracer() if tracing else None,
+    )
+
+
+def disable() -> None:
+    """Restore the no-op registry and tracer."""
+    install(NULL_REGISTRY, NULL_TRACER)
+
+
+@contextmanager
+def observe(
+    trace: Optional[str] = None, metrics: Optional[str] = None
+) -> Iterator[Tuple[MetricsRegistry, Tracer]]:
+    """Enable collection for a block, exporting on exit.
+
+    ``trace`` names a trace file (``.jsonl`` -> JSONL, anything else ->
+    Chrome trace-event JSON for Perfetto); ``metrics`` names a JSON file
+    receiving the registry snapshot.  The previous registry/tracer are
+    restored afterwards, so sessions nest.
+    """
+    import json
+    from pathlib import Path
+
+    prior = (_metrics, _tracer)
+    registry, tracer = enable()
+    try:
+        yield registry, tracer
+    finally:
+        if trace:
+            tracer.export(trace)
+        if metrics:
+            Path(metrics).write_text(
+                json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+            )
+        install(*prior)

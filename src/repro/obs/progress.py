@@ -1,0 +1,90 @@
+"""Periodic progress snapshots with throughput and ETA.
+
+Long campaigns (thousands of isolated injection simulations) previously
+ran silent until the final table.  A :class:`ProgressMeter` emits a
+one-line snapshot at most every ``interval`` seconds::
+
+    [inject] 120/4000 (3.0%)  rate 6.2/s  eta 10m26s
+
+Lines go to ``stderr`` by default so they never pollute parseable
+stdout (``--json`` output, result tables).  Updates between emission
+windows cost two comparisons, so the meter can be driven from tight
+loops.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressMeter", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: ``42s``, ``3m07s``, ``2h05m``."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressMeter:
+    """Rate-limited progress reporter for a task stream of known size."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "",
+        *,
+        interval: float = 5.0,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.total = max(0, int(total))
+        self.label = label
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self._t0 = time.monotonic()
+        self._last_emit = self._t0
+        self.lines_emitted = 0
+
+    def advance(self, n: int = 1) -> None:
+        """Mark ``n`` more tasks done; emit a snapshot if the window is up."""
+        self.done += n
+        now = time.monotonic()
+        if now - self._last_emit >= self.interval:
+            self._emit(now)
+
+    def finish(self) -> None:
+        """Emit a final snapshot (only if at least one was emitted before,
+        so short runs stay silent)."""
+        if self.lines_emitted:
+            self._emit(time.monotonic())
+
+    def snapshot(self) -> str:
+        """The current progress line (without emitting it)."""
+        return self._format(time.monotonic())
+
+    def _format(self, now: float) -> str:
+        elapsed = max(now - self._t0, 1e-9)
+        rate = self.done / elapsed
+        pct = 100.0 * self.done / self.total if self.total else 0.0
+        if rate > 0 and self.done < self.total:
+            eta = format_duration((self.total - self.done) / rate)
+        else:
+            eta = "0s" if self.done >= self.total else "?"
+        label = f"[{self.label}] " if self.label else ""
+        return (
+            f"{label}{self.done}/{self.total} ({pct:.1f}%)  "
+            f"rate {rate:.1f}/s  eta {eta}"
+        )
+
+    def _emit(self, now: float) -> None:
+        self._last_emit = now
+        self.lines_emitted += 1
+        print(self._format(now), file=self.stream, flush=True)

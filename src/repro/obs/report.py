@@ -1,0 +1,78 @@
+"""Plain-text rendering of a metrics snapshot and a span summary.
+
+Shared by ``repro stats``, the experiment harness and anything else that
+wants a human-readable account of where a run's effort went without
+opening the trace in Perfetto.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .metrics import MetricsRegistry
+from .progress import format_duration
+from .trace import Tracer
+
+__all__ = ["format_metrics", "format_spans", "format_report"]
+
+
+def format_metrics(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot as aligned ``name value`` lines."""
+    snap = registry.snapshot()
+    lines: List[str] = []
+    if snap["counters"]:
+        lines.append("counters:")
+        width = max(len(n) for n in snap["counters"])
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<{width}}  {value}")
+    if snap["gauges"]:
+        lines.append("gauges:")
+        width = max(len(n) for n in snap["gauges"])
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if snap["histograms"]:
+        lines.append("histograms:")
+        for name, h in snap["histograms"].items():
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {name}  count={h['count']} mean={mean:.4f} "
+                f"sum={h['sum']:.4f}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _seconds(value: float) -> str:
+    """Sub-minute timings keep millisecond resolution; longer ones read
+    as human durations."""
+    return f"{value:.3f}s" if value < 60 else format_duration(value)
+
+
+def format_spans(tracer: Tracer) -> str:
+    """Render the tracer's per-name timing summary as a table."""
+    summary = tracer.summary()
+    if not summary:
+        return "(no spans recorded)"
+    rows = sorted(summary.items(), key=lambda kv: -kv[1]["total"])
+    width = max(len(name) for name, _ in rows)
+    width = max(width, len("span"))
+    lines = [
+        f"{'span':<{width}}  {'count':>6}  {'total':>9}  {'mean':>9}  "
+        f"{'max':>9}"
+    ]
+    for name, s in rows:
+        lines.append(
+            f"{name:<{width}}  {int(s['count']):>6}  "
+            f"{_seconds(s['total']):>9}  {_seconds(s['mean']):>9}  "
+            f"{_seconds(s['max']):>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_report(registry: MetricsRegistry, tracer: Tracer) -> str:
+    """The full text report: span timings first, then metrics."""
+    return (
+        "== stage timings ==\n"
+        + format_spans(tracer)
+        + "\n\n== metrics ==\n"
+        + format_metrics(registry)
+    )

@@ -1,0 +1,218 @@
+"""Hierarchical wall-clock span tracing with Chrome trace-event export.
+
+A :class:`Tracer` records *spans* — named, nested, timed sections of the
+pipeline (``simulate``, ``lifetime``, ``enumerate``, ``integrate``,
+``inject``, ...) — and exports them either as JSONL (one event per line,
+grep-friendly) or as Chrome trace-event JSON, which loads directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` and renders
+the campaign as a flame chart.
+
+Disabled mode is a :class:`NullTracer` whose :meth:`~NullTracer.span`
+returns one shared no-op context manager, so spans left in hot code cost
+a method call and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = ["SpanEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class SpanEvent:
+    """One finished span: relative start/duration (seconds) plus nesting."""
+
+    __slots__ = ("name", "start", "duration", "depth", "args")
+
+    def __init__(
+        self, name: str, start: float, duration: float, depth: int, args: Dict
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.depth = depth
+        self.args = args
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+            "depth": self.depth,
+            "args": self.args,
+        }
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+        self._depth = 0
+
+    def set(self, **args) -> None:
+        """Attach (or update) attributes after the span has been entered."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._depth = self._tracer._depth
+        self._tracer._depth += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = time.perf_counter()
+        tr = self._tracer
+        tr._depth -= 1
+        tr.events.append(
+            SpanEvent(
+                self.name,
+                self._start - tr.t0,
+                end - self._start,
+                self._depth,
+                self.args,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared, stateless no-op span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def set(self, **args) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans on one timeline (origin = tracer construction).
+
+    Spans nest lexically: :meth:`span` is a context manager, and the
+    current nesting depth is recorded so exporters can rebuild the
+    hierarchy.  Events are appended on span *exit*, hence ordered by end
+    time; exporters sort as needed.
+    """
+
+    def __init__(self) -> None:
+        self.t0 = time.perf_counter()
+        self.events: List[SpanEvent] = []
+        self._depth = 0
+
+    def __bool__(self) -> bool:
+        return True
+
+    def span(self, name: str, **args) -> _ActiveSpan:
+        """Open a nested span; use as ``with tracer.span("stage"): ...``."""
+        return _ActiveSpan(self, name, args)
+
+    def add_event(self, name: str, duration: float, **args) -> None:
+        """Record an externally timed event ending now (e.g. a task that
+        ran in a worker process, whose duration the parent measured)."""
+        end = time.perf_counter()
+        self.events.append(
+            SpanEvent(name, end - self.t0 - duration, duration, self._depth, args)
+        )
+
+    # -- exporters ----------------------------------------------------------
+
+    def export_jsonl(self, path: PathLike) -> None:
+        """One JSON object per line, sorted by start time."""
+        lines = [
+            json.dumps(e.to_dict(), sort_keys=True)
+            for e in sorted(self.events, key=lambda e: e.start)
+        ]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    def export_chrome(self, path: PathLike) -> None:
+        """Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+
+        Spans become complete (``"ph": "X"``) events with microsecond
+        timestamps; nesting depth is encoded implicitly by containment on
+        one track per process.
+        """
+        pid = os.getpid()
+        trace_events = [
+            {
+                "name": e.name,
+                "ph": "X",
+                "ts": round(e.start * 1e6, 3),
+                "dur": round(e.duration * 1e6, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": e.args,
+            }
+            for e in sorted(self.events, key=lambda e: e.start)
+        ]
+        doc = {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"tool": "repro.obs"},
+        }
+        with Path(path).open("w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+
+    def export(self, path: PathLike) -> None:
+        """Export by extension: ``.jsonl`` -> JSONL, anything else Chrome."""
+        if str(path).endswith(".jsonl"):
+            self.export_jsonl(path)
+        else:
+            self.export_chrome(path)
+
+    # -- summaries ----------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate timings per span name: count, total, mean, max."""
+        agg: Dict[str, Dict[str, float]] = {}
+        for e in self.events:
+            s = agg.get(e.name)
+            if s is None:
+                s = agg[e.name] = {"count": 0, "total": 0.0, "max": 0.0}
+            s["count"] += 1
+            s["total"] += e.duration
+            s["max"] = max(s["max"], e.duration)
+        for s in agg.values():
+            s["mean"] = s["total"] / s["count"]
+        return agg
+
+
+class NullTracer(Tracer):
+    """Disabled-mode tracer: falsy, records nothing, exports nothing."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str, **args) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def add_event(self, name: str, duration: float, **args) -> None:
+        pass
+
+    def export_jsonl(self, path: PathLike) -> None:
+        pass
+
+    def export_chrome(self, path: PathLike) -> None:
+        pass
+
+
+#: the process-wide disabled tracer (see :func:`repro.obs.get_tracer`)
+NULL_TRACER = NullTracer()

@@ -31,11 +31,11 @@ import multiprocessing as mp
 import time
 import warnings
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait as _conn_wait
-from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
+from ..obs import ProgressMeter, get_metrics, get_tracer
 from .errors import ExecutorError, TaskOutcome, classify_exception
 from .journal import Journal, PathLike
 from .retry import RetryPolicy
@@ -171,6 +171,7 @@ class Executor:
         initializer: Optional[Callable[..., None]] = None,
         initargs: tuple = (),
         mp_context: str = "spawn",
+        progress: Union[bool, str] = False,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = inline)")
@@ -185,6 +186,10 @@ class Executor:
         self.initializer = initializer
         self.initargs = initargs
         self.mp_context = mp_context
+        #: False = silent; True or a label string = periodic progress
+        #: snapshot lines (with ETA) on stderr while tasks run
+        self.progress = progress
+        self._meter: Optional[ProgressMeter] = None
         if timeout is not None and jobs == 0:
             warnings.warn(
                 "timeout requires process isolation (jobs >= 1); "
@@ -225,11 +230,24 @@ class Executor:
                 results[t.id] = TaskResult.from_record(rec)
             else:
                 pending.append(t)
+        if results:
+            # Resumed-from-journal work is visible to the caller (e.g. the
+            # CLI's "resumed N completed tasks" notice) via this counter.
+            get_metrics().counter("runtime.tasks_resumed").inc(len(results))
         if pending:
-            if self.inline:
-                self._run_inline(fn, pending, results)
-            else:
-                self._run_isolated(fn, pending, results)
+            self._meter = None
+            if self.progress:
+                label = self.progress if isinstance(self.progress, str) else "tasks"
+                self._meter = ProgressMeter(len(pending), label)
+            try:
+                if self.inline:
+                    self._run_inline(fn, pending, results)
+                else:
+                    self._run_isolated(fn, pending, results)
+            finally:
+                if self._meter is not None:
+                    self._meter.finish()
+                    self._meter = None
         return results
 
     def close(self) -> None:
@@ -250,6 +268,17 @@ class Executor:
         results[task.id] = result
         if self.journal is not None:
             self.journal.append(result.to_record(task.meta))
+        mx = get_metrics()
+        if mx:
+            mx.counter("runtime.tasks_completed").inc()
+            mx.counter(f"runtime.outcome.{result.outcome}").inc()
+            mx.histogram("runtime.task_seconds").observe(result.duration)
+        get_tracer().add_event(
+            "task", result.duration,
+            id=task.id, outcome=result.outcome, attempts=result.attempts,
+        )
+        if self._meter is not None:
+            self._meter.advance()
 
     # -- inline mode --------------------------------------------------------
 
@@ -280,6 +309,7 @@ class Executor:
                         results,
                     )
                     break
+                get_metrics().counter("runtime.retries").inc()
                 time.sleep(self.retry.delay(task.id, attempt))
 
     # -- process mode -------------------------------------------------------
@@ -438,7 +468,15 @@ class Executor:
         self, task, attempt, outcome, error, duration, queue, results
     ) -> None:
         """Retry an attempt failure if policy allows, else finalise it."""
+        mx = get_metrics()
+        if mx:
+            if outcome == TaskOutcome.TIMEOUT:
+                mx.counter("runtime.timeouts").inc()
+            elif outcome == TaskOutcome.WORKER_DIED:
+                mx.counter("runtime.worker_deaths").inc()
         if self.retry.should_retry(outcome, attempt):
+            if mx:
+                mx.counter("runtime.retries").inc()
             queue.append(
                 _Pending(
                     task,

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..arch.gpu import Apu, LaunchStats
 from ..arch.memory import GlobalMemory
+from ..obs import get_tracer
 
 __all__ = ["Workload", "WorkloadRun", "run_workload"]
 
@@ -108,12 +109,13 @@ def run_workload(
     The device is ``finish()``-ed (caches flushed) and, unless ``check`` is
     disabled, outputs are verified against the workload's numpy reference.
     """
-    mem = GlobalMemory()
-    workload.setup(mem)
-    apu = Apu(n_cus=n_cus, memory=mem, **(apu_kwargs or {}))
-    workload.launch(apu)
-    apu.finish()
-    if check:
-        workload.verify(mem)
+    with get_tracer().span("simulate", workload=workload.name, n_cus=n_cus):
+        mem = GlobalMemory()
+        workload.setup(mem)
+        apu = Apu(n_cus=n_cus, memory=mem, **(apu_kwargs or {}))
+        workload.launch(apu)
+        apu.finish()
+        if check:
+            workload.verify(mem)
     ranges = [mem.buffer(name) for name in workload.outputs]
     return WorkloadRun(workload.name, apu, mem, ranges, list(apu.launches))

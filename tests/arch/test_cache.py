@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.arch.cache import Cache, CacheConfig, MemSystem
-from repro.arch.trace import EvictEvent, FillEvent, InstrRecord, ReadEvent, WriteEvent
+from repro.arch.trace import EvictEvent, FillEvent, ReadEvent, WriteEvent
 
 
 def _tiny_memsys(**kw):

@@ -10,7 +10,6 @@ from repro.arch.isa import (
     SCALAR_OPS,
     VECTOR_OPS,
     Instr,
-    Program,
     ProgramBuilder,
     fimm,
     imm,

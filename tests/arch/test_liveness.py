@@ -1,7 +1,5 @@
 """Tests for dynamic-dead-instruction and logic-masking analysis."""
 
-import numpy as np
-import pytest
 
 from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v
 from repro.arch.liveness import analyze_liveness

@@ -1,6 +1,5 @@
 """Tests for wavefront scheduling, latency hiding and CU distribution."""
 
-import numpy as np
 import pytest
 
 from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v

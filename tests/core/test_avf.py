@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.avf import (
-    MbAvfResult,
     StructureLifetimes,
     ace_locality,
     compute_mb_avf,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import AvfStudy, Interleaving, Parity, SecDed
+from repro.core import AvfStudy, Interleaving, Parity
 from repro.core.designer import (
     VGPR_DESIGN_PALETTE,
     DesignPoint,

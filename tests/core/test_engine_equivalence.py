@@ -16,7 +16,7 @@ from repro.core.avf import StructureLifetimes, compute_mb_avf
 from repro.core.faultmodes import FaultMode
 from repro.core.intervals import AceClass, IntervalSet, Outcome
 from repro.core.layout import Interleaving, SramArray
-from repro.core.protection import SCHEMES, Reaction, classify_region
+from repro.core.protection import SCHEMES, Reaction
 
 
 def brute_force_mb_avf(array, lifetimes, mode, scheme, due_preempts_sdc=False):

@@ -1,7 +1,6 @@
 """Integration tests: simulator events -> per-byte ACE lifetimes."""
 
 import numpy as np
-import pytest
 
 from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v
 from repro.core.analysis import AvfStudy

@@ -1,7 +1,6 @@
 """Direct tests for MemoryConsumption and fill-map merging."""
 
 import numpy as np
-import pytest
 
 from repro.arch import Apu, GlobalMemory, ProgramBuilder, imm, s, v
 from repro.arch.liveness import analyze_liveness

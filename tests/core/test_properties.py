@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.avf import StructureLifetimes, compute_mb_avf, compute_sb_avf
 from repro.core.faultmodes import FaultMode
-from repro.core.intervals import AceClass, IntervalSet, Outcome, sweep_max
+from repro.core.intervals import AceClass, IntervalSet, sweep_max
 from repro.core.layout import Interleaving, SramArray, build_cache_array
 from repro.core.mttf import mttf_smbf_hours, mttf_tmbf_hours
 from repro.core.protection import (

@@ -1,6 +1,5 @@
 """Additional property-based tests: serialization, Markov model, designer."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,8 +12,6 @@ from repro.core.markov import WordMarkovModel
 from repro.core.protection import Parity
 from repro.core.serialize import (
     load_lifetimes,
-    result_from_dict,
-    result_to_dict,
     save_lifetimes,
 )
 

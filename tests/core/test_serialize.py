@@ -1,7 +1,6 @@
 """Tests for lifetime and result serialisation."""
 
 import numpy as np
-import pytest
 
 from repro.core import AvfStudy, FaultMode, Parity, compute_mb_avf
 from repro.core.avf import StructureLifetimes

@@ -1,0 +1,98 @@
+"""Progress meter emission/ETA and the text report renderers."""
+
+import io
+
+from repro.obs import (
+    MetricsRegistry,
+    ProgressMeter,
+    Tracer,
+    format_duration,
+    format_metrics,
+    format_report,
+    format_spans,
+)
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER
+
+
+class TestFormatDuration:
+    def test_scales(self):
+        assert format_duration(42.4) == "42s"
+        assert format_duration(187) == "3m07s"
+        assert format_duration(7500) == "2h05m"
+        assert format_duration(-3) == "0s"
+
+
+class TestProgressMeter:
+    def test_interval_zero_emits_every_advance(self):
+        out = io.StringIO()
+        meter = ProgressMeter(4, "inject", interval=0.0, stream=out)
+        meter.advance()
+        meter.advance(2)
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[inject] 1/4 (25.0%)")
+        assert lines[1].startswith("[inject] 3/4 (75.0%)")
+        assert "rate" in lines[0] and "eta" in lines[0]
+
+    def test_long_interval_stays_silent_and_finish_respects_that(self):
+        out = io.StringIO()
+        meter = ProgressMeter(10, interval=3600.0, stream=out)
+        meter.advance(10)
+        meter.finish()
+        assert out.getvalue() == ""
+
+    def test_finish_emits_final_line_after_earlier_emission(self):
+        out = io.StringIO()
+        meter = ProgressMeter(2, interval=0.0, stream=out)
+        meter.advance()
+        meter.advance()
+        meter.finish()
+        final = out.getvalue().splitlines()[-1]
+        assert final.startswith("2/2 (100.0%)")
+        assert final.endswith("eta 0s")
+
+    def test_snapshot_eta_unknown_at_zero_progress(self):
+        meter = ProgressMeter(5, stream=io.StringIO())
+        assert "eta ?" in meter.snapshot()
+
+    def test_zero_total(self):
+        out = io.StringIO()
+        meter = ProgressMeter(0, interval=0.0, stream=out)
+        meter.advance()
+        assert "1/0 (0.0%)" in out.getvalue()
+
+
+class TestReport:
+    def test_format_metrics_lists_each_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.cycles").inc(100)
+        reg.gauge("depth").set(2.5)
+        reg.histogram("lat", bounds=(1.0,)).observe(0.5)
+        text = format_metrics(reg)
+        assert "counters:" in text
+        assert "sim.cycles" in text and "100" in text
+        assert "gauges:" in text and "2.5" in text
+        assert "histograms:" in text and "count=1" in text
+
+    def test_format_metrics_empty(self):
+        assert format_metrics(NULL_REGISTRY) == "(no metrics recorded)"
+
+    def test_format_spans_table(self):
+        tr = Tracer()
+        tr.add_event("enumerate", 2.0)
+        tr.add_event("classify", 0.5)
+        text = format_spans(tr)
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        # Sorted by total descending: enumerate first.
+        assert lines[1].startswith("enumerate")
+        assert lines[2].startswith("classify")
+
+    def test_format_spans_empty(self):
+        assert format_spans(NULL_TRACER) == "(no spans recorded)"
+
+    def test_format_report_sections(self):
+        text = format_report(NULL_REGISTRY, NULL_TRACER)
+        assert "== stage timings ==" in text
+        assert "== metrics ==" in text

@@ -1,0 +1,127 @@
+"""Span tracing: nesting, args, exporters and disabled mode."""
+
+import json
+
+from repro.obs import NullTracer, Tracer
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpans:
+    def test_records_on_exit_with_duration(self):
+        tr = Tracer()
+        with tr.span("work"):
+            pass
+        assert len(tr.events) == 1
+        e = tr.events[0]
+        assert e.name == "work"
+        assert e.duration >= 0.0
+        assert e.start >= 0.0
+        assert e.depth == 0
+
+    def test_nesting_depths(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                with tr.span("leaf"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        depths = {e.name: e.depth for e in tr.events}
+        assert depths == {"outer": 0, "inner": 1, "leaf": 2, "sibling": 1}
+        # Events are appended on exit, so inner spans precede outer ones.
+        assert [e.name for e in tr.events] == [
+            "leaf", "inner", "sibling", "outer",
+        ]
+
+    def test_args_and_late_set(self):
+        tr = Tracer()
+        with tr.span("kernel", kernel="matmul") as sp:
+            sp.set(instructions=42)
+        sp.set(cycles=7)  # after exit: args dict is shared with the event
+        assert tr.events[0].args == {
+            "kernel": "matmul", "instructions": 42, "cycles": 7,
+        }
+
+    def test_add_event_external_timing(self):
+        tr = Tracer()
+        tr.add_event("task", 1.5, id="x")
+        e = tr.events[0]
+        assert e.name == "task"
+        assert e.duration == 1.5
+        assert e.args == {"id": "x"}
+
+
+class TestExporters:
+    def _traced(self):
+        tr = Tracer()
+        with tr.span("outer", phase="all"):
+            with tr.span("inner"):
+                pass
+        return tr
+
+    def test_chrome_export_is_valid_trace_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._traced().export_chrome(path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert {e["name"] for e in events} == {"outer", "inner"}
+        for e in events:
+            assert e["ph"] == "X"
+            assert isinstance(e["ts"], float) and e["ts"] >= 0
+            assert isinstance(e["dur"], float) and e["dur"] >= 0
+            assert isinstance(e["pid"], int)
+            assert "tid" in e and "args" in e
+        # Sorted by start time: the outer span opens first.
+        assert events[0]["name"] == "outer"
+
+    def test_jsonl_export_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._traced().export_jsonl(path)
+        lines = path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        assert events[0]["depth"] == 0 and events[1]["depth"] == 1
+        assert events[0]["args"] == {"phase": "all"}
+
+    def test_export_dispatches_on_extension(self, tmp_path):
+        tr = self._traced()
+        tr.export(tmp_path / "a.jsonl")
+        tr.export(tmp_path / "b.json")
+        assert len((tmp_path / "a.jsonl").read_text().splitlines()) == 2
+        assert "traceEvents" in json.loads((tmp_path / "b.json").read_text())
+
+    def test_empty_exports(self, tmp_path):
+        tr = Tracer()
+        tr.export_jsonl(tmp_path / "e.jsonl")
+        tr.export_chrome(tmp_path / "e.json")
+        assert (tmp_path / "e.jsonl").read_text() == ""
+        assert json.loads((tmp_path / "e.json").read_text())["traceEvents"] == []
+
+
+class TestSummary:
+    def test_aggregates_per_name(self):
+        tr = Tracer()
+        tr.add_event("enumerate", 1.0)
+        tr.add_event("enumerate", 3.0)
+        tr.add_event("classify", 0.5)
+        s = tr.summary()
+        assert s["enumerate"]["count"] == 2
+        assert s["enumerate"]["total"] == 4.0
+        assert s["enumerate"]["mean"] == 2.0
+        assert s["enumerate"]["max"] == 3.0
+        assert s["classify"]["count"] == 1
+
+
+class TestNullTracer:
+    def test_falsy_and_recordless(self, tmp_path):
+        tr = NullTracer()
+        assert not tr
+        with tr.span("x", a=1) as sp:
+            sp.set(b=2)
+        tr.add_event("y", 1.0)
+        assert tr.events == []
+        assert tr.span("anything") is _NULL_SPAN
+        tr.export_jsonl(tmp_path / "no.jsonl")
+        tr.export_chrome(tmp_path / "no.json")
+        assert not (tmp_path / "no.jsonl").exists()
+        assert not (tmp_path / "no.json").exists()

@@ -95,10 +95,17 @@ class TestCampaignRuntimeFlags:
         assert main(argv) == 0
         first = capsys.readouterr().out
         assert "SDC ACE bits" in first
+        assert "resumed" not in first
         assert journal.exists() and journal.read_text().count("\n") >= 4
-        # Everything is journaled now, so the re-run replays the journal.
+        # Everything is journaled now, so the re-run replays the journal
+        # and says so; the campaign report itself is unchanged.
         assert main(argv) == 0
-        assert capsys.readouterr().out == first
+        second = capsys.readouterr().out
+        notice, rest = second.split("\n", 1)
+        assert notice.startswith("resumed ")
+        assert notice.endswith(" completed tasks from journal")
+        assert int(notice.split()[1]) >= 4
+        assert rest == first
 
     def test_campaign_subcommand(self, capsys, tmp_path):
         assert main(
@@ -130,3 +137,130 @@ class TestCampaignRuntimeFlags:
     def test_campaign_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             main(["campaign", "transpose", "not-a-benchmark"])
+
+
+class TestObservabilityFlags:
+    """--json, --trace and --metrics surfacing plus the stats command."""
+
+    def _json_out(self, capsys, argv):
+        import json
+
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_run_json(self, capsys):
+        doc = self._json_out(capsys, ["run", "vectoradd", "--json"])
+        assert doc["workload"] == "vectoradd"
+        assert doc["instructions"] > 0
+        assert doc["verified"] is True
+        assert "l2" in doc["caches"]
+
+    def test_avf_json(self, capsys):
+        doc = self._json_out(
+            capsys,
+            ["avf", "vectoradd", "--mode", "2x1", "--scheme", "parity",
+             "--json"],
+        )
+        assert doc["mode"] == "2x1"
+        assert doc["scheme"] == "parity"
+        assert 0.0 <= doc["due_avf"] <= 1.0
+        assert 0.0 <= doc["sdc_avf"] <= 1.0
+        assert doc["groups"] > 0
+
+    def test_ser_json(self, capsys):
+        doc = self._json_out(
+            capsys, ["ser", "vectoradd", "--structure", "l1", "--json"]
+        )
+        assert "1x1" in doc["modes"]
+        assert doc["total_fit"] >= 0.0
+
+    def test_mttf_json(self, capsys):
+        doc = self._json_out(capsys, ["mttf", "--json"])
+        assert len(doc["rows"]) >= 1
+        assert "mttf_tmbf_100yr" in doc["rows"][0]
+
+    def test_avf_trace_and_metrics_files(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["avf", "vectoradd", "--trace", str(trace),
+             "--metrics", str(metrics)]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"simulate", "lifetime", "enumerate", "integrate"} <= names
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["sim.kernel_launches"] >= 1
+        assert snap["counters"]["avf.computations"] >= 1
+
+    def test_jsonl_trace_extension(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "vectoradd", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert any(e["name"] == "simulate" for e in events)
+
+    def test_campaign_trace_covers_all_stages(self, tmp_path, capsys):
+        """Acceptance: the campaign trace shows every pipeline stage."""
+        import json
+
+        trace = tmp_path / "campaign.json"
+        assert main(
+            ["campaign", "vectoradd", "--singles", "2", "--groups", "1",
+             "--cus", "1", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {
+            "simulate", "lifetime", "enumerate", "integrate", "inject",
+        } <= names
+
+    def test_campaign_reports_model_avf(self, capsys):
+        assert main(
+            ["inject", "vectoradd", "--singles", "2", "--groups", "1",
+             "--cus", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "model SDC AVF" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "vectoradd"]) == 0
+        out = capsys.readouterr().out
+        assert "== stage timings ==" in out
+        assert "== metrics ==" in out
+        assert "simulate" in out
+        assert "sim.instructions" in out
+
+    def test_trace_to_directory_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "vectoradd", "--trace", str(tmp_path)])
+
+    def test_trace_to_missing_directory_rejected(self, tmp_path):
+        """Export paths are validated before any work runs."""
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "vectoradd", "--trace",
+                 str(tmp_path / "no" / "such" / "t.json")]
+            )
+
+    def test_metrics_to_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["avf", "vectoradd", "--metrics",
+                 str(tmp_path / "missing" / "m.json")]
+            )
+
+    def test_observability_restored_after_command(self, capsys):
+        from repro import obs
+
+        assert main(["stats", "vectoradd"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()

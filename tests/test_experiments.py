@@ -1,6 +1,5 @@
 """Tests for the shared experiment configuration and study cache."""
 
-import pytest
 
 from repro.core import AvfStudy, FaultMode, Parity, SecDed
 from repro.experiments import (

@@ -1,6 +1,5 @@
 """Correctness and determinism tests for every workload kernel."""
 
-import numpy as np
 import pytest
 
 from repro.workloads import REGISTRY, names, run
