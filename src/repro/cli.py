@@ -12,6 +12,7 @@ Examples::
     python -m repro inject transpose --jobs 2 --timeout 60 --retries 2 \\
         --resume campaign.jsonl
     python -m repro campaign --jobs 4 --resume table2.jsonl
+    python -m repro campaign compact --resume table2.jsonl
     python -m repro mttf
 """
 
@@ -20,10 +21,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shlex
 import sys
 from typing import List, Optional
 
 from . import obs
+from .runtime.errors import CampaignInterrupted
 from .core import (
     SCHEMES,
     AvfStudy,
@@ -197,7 +200,7 @@ def _cmd_ser(args) -> int:
 
 def _runtime_kwargs(args) -> dict:
     """Campaign-runtime options shared by ``inject`` and ``campaign``."""
-    from .runtime import RetryPolicy
+    from .runtime import ChaosPolicy, ChaosSpec, RetryPolicy
 
     retry = None
     if args.retries:
@@ -207,12 +210,19 @@ def _runtime_kwargs(args) -> dict:
             jitter=0.1,
             seed=args.seed,
         )
+    chaos = None
+    if args.chaos_spec:
+        chaos = ChaosPolicy(
+            ChaosSpec.from_string(args.chaos_spec), seed=args.chaos_seed
+        )
+        print(f"CHAOS MODE (dev): {chaos!r}", file=sys.stderr)
     return {
         "jobs": args.jobs,
         "timeout": args.timeout,
         "retry": retry,
         "journal": args.journal,
         "progress": True,
+        "chaos": chaos,
     }
 
 
@@ -253,10 +263,31 @@ def _cmd_inject(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    """``repro campaign compact --resume J``: atomically rewrite a journal
+    to one valid record per task (drops superseded and corrupt lines)."""
+    from .runtime import Journal
+
+    if not args.journal:
+        print("campaign compact requires --resume JOURNAL", file=sys.stderr)
+        return 2
+    if not os.path.exists(args.journal):
+        print(f"journal {args.journal} does not exist", file=sys.stderr)
+        return 2
+    stats = Journal(args.journal).compact()
+    print(
+        f"compacted {args.journal}: {stats['records']} records, "
+        f"{stats['bytes_before']} -> {stats['bytes_after']} bytes"
+    )
+    return 0
+
+
 def _cmd_campaign(args) -> int:
     from .faultinject import ace_interference_study
     from .workloads.suite import OPENCL_SAMPLES
 
+    if args.benchmarks and args.benchmarks[0] == "compact":
+        return _cmd_compact(args)
     benchmarks = args.benchmarks or list(OPENCL_SAMPLES)
     campaigns = ace_interference_study(
         benchmarks, n_single=args.singles,
@@ -382,6 +413,16 @@ def _add_runtime_args(sub) -> None:
         help="JSONL checkpoint journal: completed injections are appended "
              "here and skipped on re-run, making the campaign resumable",
     )
+    sub.add_argument(
+        "--chaos-spec", default=None, metavar="SPEC",
+        help="DEV ONLY: fault-inject the campaign runtime itself, e.g. "
+             "'worker_crash=0.1,journal_corrupt=0.05' (see "
+             "repro.runtime.ChaosSpec); drop this flag when resuming",
+    )
+    sub.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="DEV ONLY: seed for the deterministic chaos schedule",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -469,8 +510,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--timeout requires --jobs >= 1 (process isolation)")
         if args.journal and os.path.isdir(args.journal):
             parser.error(f"--resume {args.journal}: is a directory")
-        if getattr(args, "benchmarks", None):
-            unknown = [b for b in args.benchmarks if b not in names()]
+        if args.chaos_spec:
+            from .runtime import ChaosSpec
+
+            try:
+                ChaosSpec.from_string(args.chaos_spec)
+            except ValueError as exc:
+                parser.error(f"--chaos-spec: {exc}")
+        benchmarks = getattr(args, "benchmarks", None)
+        # "campaign compact" is the journal-maintenance subcommand, not a
+        # benchmark list.
+        if benchmarks and benchmarks != ["compact"]:
+            unknown = [b for b in benchmarks if b not in names()]
             if unknown:
                 parser.error(f"unknown benchmarks: {', '.join(unknown)}")
     handlers = {
@@ -486,13 +537,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = handlers[args.command]
     trace = getattr(args, "trace", None)
     metrics = getattr(args, "metrics", None)
-    # Observability is always on for the commands whose reports read it
-    # (resumed-task notice, stats); elsewhere only when an export was asked
-    # for, so the plain paths keep their no-op instrumentation.
-    if trace or metrics or args.command in ("inject", "campaign", "stats"):
-        with obs.observe(trace=trace, metrics=metrics):
-            return handler(args)
-    return handler(args)
+    try:
+        # Observability is always on for the commands whose reports read
+        # it (resumed-task notice, stats); elsewhere only when an export
+        # was asked for, so the plain paths keep their no-op
+        # instrumentation.
+        if trace or metrics or args.command in ("inject", "campaign",
+                                                "stats"):
+            with obs.observe(trace=trace, metrics=metrics):
+                return handler(args)
+        return handler(args)
+    except CampaignInterrupted as stop:
+        # Graceful drain: every completed task is already fsynced in the
+        # journal, so tell the operator exactly how to pick the campaign
+        # back up.
+        print(
+            f"\ninterrupted: {stop.completed}/{stop.total} tasks "
+            "journaled; journal sealed",
+            file=sys.stderr,
+        )
+        if stop.journal_path is not None:
+            resume_argv = _strip_chaos_args(
+                argv if argv is not None else sys.argv[1:]
+            )
+            print(
+                "resume with: python -m repro "
+                + " ".join(shlex.quote(a) for a in resume_argv),
+                file=sys.stderr,
+            )
+        return 130
+
+
+def _strip_chaos_args(argv: List[str]) -> List[str]:
+    """Drop --chaos-spec/--chaos-seed (and their values) from an argv.
+
+    The suggested resume command must not carry them: journal faults are
+    keyed per task id, so resuming with the same chaos policy would
+    replay the same write faults instead of finishing the campaign.
+    """
+    out: List[str] = []
+    skip = False
+    for a in argv:
+        if skip:
+            skip = False
+            continue
+        if a in ("--chaos-spec", "--chaos-seed"):
+            skip = True
+            continue
+        if a.startswith("--chaos-spec=") or a.startswith("--chaos-seed="):
+            continue
+        out.append(a)
+    return out
 
 
 if __name__ == "__main__":  # pragma: no cover

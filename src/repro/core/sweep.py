@@ -76,7 +76,7 @@ def _run_grid(structure, cells, measure, executor) -> List[SweepPoint]:
             )
             for _, (style, factor, scheme, mode) in cells
         ]
-    from ..runtime import Task
+    from ..runtime import Task, TaskOutcome
 
     def cell_fn(args) -> dict:
         style, factor, scheme, mode = args
@@ -90,6 +90,16 @@ def _run_grid(structure, cells, measure, executor) -> List[SweepPoint]:
         r = results[task.id]
         if r.ok:
             points.append(SweepPoint(**r.value))
+        elif r.outcome == TaskOutcome.POISONED:
+            # The breaker quarantined this cell: it repeatedly killed its
+            # worker, which for a pure-python AVF measurement points at a
+            # systematic problem (OOM on that configuration), not noise.
+            warnings.warn(
+                f"sweep cell {task.id} was quarantined by the circuit "
+                f"breaker ({r.error}); point dropped — this configuration "
+                "likely cannot be measured on this host",
+                stacklevel=3,
+            )
         else:
             warnings.warn(
                 f"sweep cell {task.id} failed ({r.outcome}): {r.error}; "

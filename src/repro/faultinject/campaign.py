@@ -33,6 +33,7 @@ import numpy as np
 
 from ..obs import get_metrics, get_tracer
 from ..runtime import (
+    ChaosPolicy,
     Executor,
     Journal,
     RetryPolicy,
@@ -118,8 +119,9 @@ class BenchmarkCampaign:
     #: per fault mode width: (groups injected, groups with ACE interference)
     multibit: Dict[int, Tuple[int, int]] = field(default_factory=dict)
     #: injections that exhausted their retries, by runtime outcome
-    #: (``timeout``, ``worker_died``, ``infra_error``); these carry no
-    #: verdict and are excluded from the single/multibit tallies above.
+    #: (``timeout``, ``worker_died``, ``infra_error``, ``poisoned``);
+    #: these carry no verdict and are excluded from the single/multibit
+    #: tallies above.
     failures: Dict[str, int] = field(default_factory=dict)
     #: ACE model context: the unprotected single-bit VGPR SDC AVF the
     #: injection outcomes are validated against (``None`` on records
@@ -288,6 +290,7 @@ def _make_executor(
     retry: Optional[RetryPolicy],
     journal: Optional[Union[Journal, str]],
     progress: Union[bool, str] = False,
+    chaos: Optional[ChaosPolicy] = None,
 ) -> Executor:
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = inline)")
@@ -301,10 +304,12 @@ def _make_executor(
             initializer=_init_injection_worker,
             initargs=(benchmark, seed, n_cus, max_cycles),
             progress=progress,
+            chaos=chaos,
         )
     # Inline: reuse the parent's runner (one golden run total).
     return Executor(
-        runner.inject, jobs=0, retry=retry, journal=journal, progress=progress
+        runner.inject, jobs=0, retry=retry, journal=journal,
+        progress=progress, chaos=chaos,
     )
 
 
@@ -354,6 +359,7 @@ def run_campaign(
     journal: Optional[Union[Journal, str]] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     progress: Union[bool, str] = False,
+    chaos: Optional[ChaosPolicy] = None,
 ) -> BenchmarkCampaign:
     """The Table II procedure for one benchmark.
 
@@ -369,6 +375,11 @@ def run_campaign(
     every injection so an interrupted campaign can be resumed by re-running
     the same call.  All task ids are derived from the seeded spec sequence,
     so a resumed campaign reproduces the uninterrupted result exactly.
+
+    ``chaos`` (dev/test only) fault-injects the campaign runtime itself —
+    worker crashes, hangs, corrupted journal writes — per a seeded
+    :class:`~repro.runtime.ChaosPolicy`; resume such a campaign *without*
+    the chaos policy or its write faults replay.
     """
     if benchmark not in REGISTRY:
         raise KeyError(f"unknown benchmark {benchmark!r}")
@@ -384,7 +395,7 @@ def run_campaign(
     singles = [runner.random_spec(rng) for _ in range(n_single)]
     with _make_executor(
         runner, benchmark, seed, n_cus, max_cycles,
-        jobs, timeout, retry, journal, progress,
+        jobs, timeout, retry, journal, progress, chaos,
     ) as executor:
         single_tasks = [
             Task(

@@ -43,7 +43,12 @@ from .metrics import (
     NULL_REGISTRY,
 )
 from .progress import ProgressMeter, format_duration
-from .report import format_metrics, format_report, format_spans
+from .report import (
+    format_metrics,
+    format_report,
+    format_resilience,
+    format_spans,
+)
 from .trace import NullTracer, NULL_TRACER, SpanEvent, Tracer
 
 __all__ = [
@@ -63,6 +68,7 @@ __all__ = [
     "format_duration",
     "format_metrics",
     "format_report",
+    "format_resilience",
     "format_spans",
     "get_metrics",
     "get_tracer",

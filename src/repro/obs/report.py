@@ -13,7 +13,21 @@ from .metrics import MetricsRegistry
 from .progress import format_duration
 from .trace import Tracer
 
-__all__ = ["format_metrics", "format_spans", "format_report"]
+__all__ = [
+    "format_metrics", "format_resilience", "format_spans", "format_report"
+]
+
+#: runtime-health counters surfaced as their own report section — these
+#: are the "did the campaign degrade, and how" numbers an operator scans
+#: first after an overnight run
+_RESILIENCE_COUNTERS = {
+    "runtime.workers_respawned": "workers respawned",
+    "runtime.tasks_poisoned": "tasks quarantined by breaker",
+    "runtime.journal_quarantined": "journal records quarantined",
+    "runtime.journal_compactions": "journal compactions",
+    "runtime.drains": "signal drains",
+    "runtime.timeout_unenforced": "unenforceable inline timeouts",
+}
 
 
 def format_metrics(registry: MetricsRegistry) -> str:
@@ -68,11 +82,31 @@ def format_spans(tracer: Tracer) -> str:
     return "\n".join(lines)
 
 
+def format_resilience(registry: MetricsRegistry) -> str:
+    """Render runtime-health counters (breaker trips, worker respawns,
+    journal quarantines, chaos injections); empty string when the run
+    needed no self-healing and no chaos was injected."""
+    counters = registry.snapshot()["counters"]
+    lines: List[str] = []
+    for name, label in _RESILIENCE_COUNTERS.items():
+        value = counters.get(name, 0)
+        if value:
+            lines.append(f"  {label}: {value}")
+    chaos = {n: v for n, v in counters.items() if n.startswith("chaos.")}
+    if chaos:
+        injected = ", ".join(
+            f"{n.split('.', 1)[1]}={v}" for n, v in chaos.items()
+        )
+        lines.append(f"  chaos injected: {injected}")
+    return "\n".join(lines)
+
+
 def format_report(registry: MetricsRegistry, tracer: Tracer) -> str:
-    """The full text report: span timings first, then metrics."""
-    return (
-        "== stage timings ==\n"
-        + format_spans(tracer)
-        + "\n\n== metrics ==\n"
-        + format_metrics(registry)
-    )
+    """The full text report: span timings, then resilience (when any
+    self-healing happened), then metrics."""
+    resilience = format_resilience(registry)
+    parts = ["== stage timings ==\n" + format_spans(tracer)]
+    if resilience:
+        parts.append("== resilience ==\n" + resilience)
+    parts.append("== metrics ==\n" + format_metrics(registry))
+    return "\n\n".join(parts)

@@ -25,6 +25,9 @@ __all__ = [
     "SimulationHang",
     "InfraError",
     "ExecutorError",
+    "JournalRecordError",
+    "JournalWriteError",
+    "CampaignInterrupted",
     "classify_exception",
 ]
 
@@ -38,10 +41,12 @@ class TaskOutcome:
     WORKER_DIED = "worker_died"  # worker process exited mid-task
     TIMEOUT = "timeout"          # wall-clock budget exceeded; worker killed
     INFRA_ERROR = "infra_error"  # harness bug (task fn raised)
+    POISONED = "poisoned"        # task quarantined: it kept killing workers
 
-    ALL = (OK, SIM_CRASH, SIM_HANG, WORKER_DIED, TIMEOUT, INFRA_ERROR)
+    ALL = (OK, SIM_CRASH, SIM_HANG, WORKER_DIED, TIMEOUT, INFRA_ERROR,
+           POISONED)
     #: outcomes caused by the harness rather than the simulated fault
-    INFRASTRUCTURE = (WORKER_DIED, TIMEOUT, INFRA_ERROR)
+    INFRASTRUCTURE = (WORKER_DIED, TIMEOUT, INFRA_ERROR, POISONED)
 
 
 class SimulationError(Exception):
@@ -62,6 +67,47 @@ class InfraError(Exception):
 
 class ExecutorError(RuntimeError):
     """The executor itself cannot proceed (e.g. worker init failed)."""
+
+
+class JournalRecordError(ValueError):
+    """A journaled record is structurally unusable (missing keys, wrong
+    types).  Raised by :meth:`TaskResult.from_record` instead of the bare
+    ``KeyError``/``ValueError`` it wraps, so resume paths can quarantine
+    the record and re-run the task instead of aborting the campaign."""
+
+    def __init__(self, record: object, cause: BaseException) -> None:
+        super().__init__(
+            f"unusable journal record ({type(cause).__name__}: {cause}): "
+            f"{record!r}"
+        )
+        self.record = record
+
+
+class JournalWriteError(OSError):
+    """A journal append failed at the filesystem level (``ENOSPC``,
+    ``EIO``, a torn write).  The in-memory result is intact but *not*
+    durable; the executor aborts the campaign so the operator resumes
+    with a sealed, consistent journal rather than silently losing
+    checkpoints."""
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """A SIGINT/SIGTERM drain completed: in-flight tasks finished, the
+    journal was sealed, and the campaign stopped cleanly.
+
+    Derives from :class:`KeyboardInterrupt` so generic ``except
+    Exception`` recovery code never swallows an operator's stop request.
+    """
+
+    def __init__(self, completed: int, total: int,
+                 journal_path: object = None) -> None:
+        super().__init__(
+            f"campaign drained after signal: {completed}/{total} tasks "
+            "journaled"
+        )
+        self.completed = completed
+        self.total = total
+        self.journal_path = journal_path
 
 
 #: path fragments that mark a frame as simulator code; an exception whose

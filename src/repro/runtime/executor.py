@@ -11,9 +11,20 @@ Every campaign-scale entry point dispatches its work through an
 * **bounded retries** — infrastructure failures (worker death, timeout)
   are re-queued per a :class:`~repro.runtime.retry.RetryPolicy`; semantic
   outcomes are never retried;
+* **poison quarantine** — a per-task circuit breaker: a payload whose
+  attempts keep killing workers is finalised as ``POISONED`` instead of
+  burning its remaining retries (and more workers);
+* **worker health** — dead workers are detected both by pipe EOF and by
+  a periodic liveness sweep (the ``heartbeat``), and respawned
+  automatically mid-campaign;
 * **checkpoint/resume** — with a :class:`~repro.runtime.journal.Journal`,
   every final result is durably appended, and a re-run skips tasks the
-  journal already holds;
+  journal already holds; a record that cannot be rebuilt is quarantined
+  and its task re-run instead of aborting the resume;
+* **graceful drain** — the first SIGINT/SIGTERM stops dispatch, lets
+  in-flight tasks finish and journal, seals the journal, and raises
+  :class:`~repro.runtime.errors.CampaignInterrupted`; a second signal
+  aborts immediately;
 * **graceful degradation** — a task that exhausts its retries yields a
   failure-labelled :class:`TaskResult` instead of an exception, so one
   broken injection cannot abort a thousand good ones.
@@ -23,11 +34,19 @@ the same taxonomy, retry and journal behaviour but no isolation (and
 therefore no timeout enforcement).  Inline mode is the fast default for
 small campaigns; process mode additionally parallelises across
 ``jobs`` workers.
+
+A :class:`~repro.runtime.chaos.ChaosPolicy` (``chaos=``, off by default)
+injects faults into the runtime itself — worker crashes and hangs, task
+exception storms, corrupted or failing journal writes — which is how
+``tests/chaos/`` proves every guarantee above under fire.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import signal
+import sys
+import threading
 import time
 import warnings
 from collections import deque
@@ -36,13 +55,39 @@ from multiprocessing.connection import Connection, wait as _conn_wait
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from ..obs import ProgressMeter, get_metrics, get_tracer
-from .errors import ExecutorError, TaskOutcome, classify_exception
+from .chaos import ChaosPolicy, apply_worker_action
+from .errors import (
+    CampaignInterrupted,
+    ExecutorError,
+    JournalRecordError,
+    JournalWriteError,
+    TaskOutcome,
+    classify_exception,
+)
 from .journal import Journal, PathLike
 from .retry import RetryPolicy
 
 __all__ = ["Task", "TaskResult", "Executor", "run_tasks"]
 
 _INFINITY = float("inf")
+
+#: chaos directive kind -> spec point name (for metrics/trace labels)
+_CHAOS_POINTS = {
+    "crash": "worker_crash",
+    "hang": "worker_hang",
+    "error": "task_error",
+    "slow": "slow_task",
+}
+
+#: process-wide flag: the inline-timeout warning fires once, the
+#: ``runtime.timeout_unenforced`` counter records every occurrence
+_INLINE_TIMEOUT_WARNED = False
+
+
+def _reset_inline_timeout_warning() -> None:
+    """Test hook: re-arm the one-time inline-timeout warning."""
+    global _INLINE_TIMEOUT_WARNED
+    _INLINE_TIMEOUT_WARNED = False
 
 
 @dataclass(frozen=True)
@@ -85,18 +130,38 @@ class TaskResult:
 
     @classmethod
     def from_record(cls, rec: dict) -> "TaskResult":
-        return cls(
-            task_id=rec["task"],
-            outcome=rec["outcome"],
-            value=rec.get("value"),
-            error=rec.get("error", ""),
-            attempts=int(rec.get("attempts", 1)),
-            duration=float(rec.get("duration", 0.0)),
-        )
+        """Rebuild a result from a journaled record.
+
+        Malformed records raise :class:`JournalRecordError` (never a bare
+        ``KeyError``/``ValueError``/``TypeError``), so resume paths can
+        quarantine the record and re-run its task instead of aborting.
+        """
+        try:
+            task_id = rec["task"]
+            outcome = rec["outcome"]
+            if not isinstance(task_id, str):
+                raise ValueError("task id must be a string")
+            if not isinstance(outcome, str):
+                raise ValueError("outcome must be a string")
+            return cls(
+                task_id=task_id,
+                outcome=outcome,
+                value=rec.get("value"),
+                error=rec.get("error", ""),
+                attempts=int(rec.get("attempts", 1)),
+                duration=float(rec.get("duration", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalRecordError(rec, exc) from exc
 
 
 def _worker_main(conn: Connection, fn, initializer, initargs) -> None:
-    """Worker process loop: init once, then evaluate tasks until EOF."""
+    """Worker process loop: init once, then evaluate tasks until EOF.
+
+    Each task message is ``(payload, chaos_action)``; the chaos action is
+    ``None`` in normal operation and a directive from the parent's
+    :class:`ChaosPolicy` when the runtime is testing itself.
+    """
     try:
         if initializer is not None:
             initializer(*initargs)
@@ -111,8 +176,10 @@ def _worker_main(conn: Connection, fn, initializer, initargs) -> None:
             return
         if msg is None:
             return
+        payload, chaos_action = msg
         try:
-            value = fn(msg)
+            apply_worker_action(chaos_action)
+            value = fn(payload)
         except Exception as exc:
             _safe_send(
                 conn,
@@ -172,30 +239,51 @@ class Executor:
         initargs: tuple = (),
         mp_context: str = "spawn",
         progress: Union[bool, str] = False,
+        chaos: Optional[ChaosPolicy] = None,
+        heartbeat: float = 5.0,
+        drain_signals: bool = True,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = inline)")
+        if heartbeat <= 0:
+            raise ValueError("heartbeat must be > 0 seconds")
         self.fn = fn
         self.jobs = jobs
         self.timeout = timeout
         self.retry = retry or RetryPolicy()
         self.journal = (
             journal if isinstance(journal, Journal) or journal is None
-            else Journal(journal)
+            else Journal(journal, chaos=chaos)
         )
+        if self.journal is not None and chaos is not None:
+            self.journal.chaos = chaos
         self.initializer = initializer
         self.initargs = initargs
         self.mp_context = mp_context
         #: False = silent; True or a label string = periodic progress
         #: snapshot lines (with ETA) on stderr while tasks run
         self.progress = progress
+        #: dev-only runtime self-fault-injection (None = off)
+        self.chaos = chaos
+        #: seconds between worker liveness sweeps (process mode)
+        self.heartbeat = heartbeat
+        #: install SIGINT/SIGTERM drain handlers around :meth:`run`
+        #: (main thread only; a second signal aborts immediately)
+        self.drain_signals = drain_signals
         self._meter: Optional[ProgressMeter] = None
+        self._draining = False
+        #: per-task count of attempts that killed their worker (breaker)
+        self._worker_kills: Dict[str, int] = {}
         if timeout is not None and jobs == 0:
-            warnings.warn(
-                "timeout requires process isolation (jobs >= 1); "
-                "inline tasks will not be interrupted",
-                stacklevel=2,
-            )
+            get_metrics().counter("runtime.timeout_unenforced").inc()
+            global _INLINE_TIMEOUT_WARNED
+            if not _INLINE_TIMEOUT_WARNED:
+                _INLINE_TIMEOUT_WARNED = True
+                warnings.warn(
+                    "timeout requires process isolation (jobs >= 1); "
+                    "inline tasks will not be interrupted",
+                    stacklevel=2,
+                )
 
     @property
     def inline(self) -> bool:
@@ -212,7 +300,10 @@ class Executor:
 
         Tasks already present in the journal are *not* re-executed; their
         journaled results are returned as-is, which is what makes a killed
-        campaign resumable and deterministic.
+        campaign resumable and deterministic.  A journaled record that
+        cannot be rebuilt (hand-edited, wrong types) is quarantined and
+        its task re-run.  A SIGINT/SIGTERM during the run drains in-flight
+        work, seals the journal and raises :class:`CampaignInterrupted`.
         """
         fn = fn or self.fn
         if fn is None:
@@ -226,28 +317,56 @@ class Executor:
         pending = []
         for t in tasks:
             rec = journaled.get(t.id)
-            if rec is not None:
+            if rec is None:
+                pending.append(t)
+                continue
+            try:
                 results[t.id] = TaskResult.from_record(rec)
-            else:
+            except JournalRecordError:
+                self.journal.quarantine_record(rec, "bad_record")
+                warnings.warn(
+                    f"journal record for task {t.id!r} is unusable; "
+                    "quarantined and re-running the task",
+                    stacklevel=2,
+                )
                 pending.append(t)
         if results:
             # Resumed-from-journal work is visible to the caller (e.g. the
             # CLI's "resumed N completed tasks" notice) via this counter.
             get_metrics().counter("runtime.tasks_resumed").inc(len(results))
-        if pending:
-            self._meter = None
-            if self.progress:
-                label = self.progress if isinstance(self.progress, str) else "tasks"
-                self._meter = ProgressMeter(len(pending), label)
-            try:
-                if self.inline:
-                    self._run_inline(fn, pending, results)
-                else:
-                    self._run_isolated(fn, pending, results)
-            finally:
-                if self._meter is not None:
-                    self._meter.finish()
-                    self._meter = None
+        self._draining = False
+        self._worker_kills = {}
+        saved_handlers = self._install_signal_handlers()
+        try:
+            if pending:
+                self._meter = None
+                if self.progress:
+                    label = (
+                        self.progress if isinstance(self.progress, str)
+                        else "tasks"
+                    )
+                    self._meter = ProgressMeter(len(pending), label)
+                try:
+                    if self.inline:
+                        self._run_inline(fn, pending, results)
+                    else:
+                        self._run_isolated(fn, pending, results)
+                finally:
+                    if self._meter is not None:
+                        self._meter.finish()
+                        self._meter = None
+            if self._draining:
+                missing = [t for t in tasks if t.id not in results]
+                if missing:
+                    if self.journal is not None:
+                        self.journal.close()  # seal: every record is durable
+                    get_metrics().counter("runtime.drains").inc()
+                    raise CampaignInterrupted(
+                        len(results), len(tasks),
+                        self.journal.path if self.journal else None,
+                    )
+        finally:
+            self._restore_signal_handlers(saved_handlers)
         return results
 
     def close(self) -> None:
@@ -260,6 +379,41 @@ class Executor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- signal drain -------------------------------------------------------
+
+    def _install_signal_handlers(self):
+        if not self.drain_signals:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        saved = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                saved[sig] = signal.signal(sig, self._on_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return saved
+
+    @staticmethod
+    def _restore_signal_handlers(saved) -> None:
+        if not saved:
+            return
+        for sig, handler in saved.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _on_signal(self, signum, frame) -> None:
+        if self._draining:
+            raise KeyboardInterrupt  # second signal: abort immediately
+        self._draining = True
+        print(
+            "\nsignal received: draining — letting in-flight tasks finish "
+            "and sealing the journal (signal again to abort)",
+            file=sys.stderr,
+        )
+
     # -- shared -------------------------------------------------------------
 
     def _finalize(
@@ -267,7 +421,17 @@ class Executor:
     ) -> None:
         results[task.id] = result
         if self.journal is not None:
-            self.journal.append(result.to_record(task.meta))
+            try:
+                self.journal.append(result.to_record(task.meta))
+            except JournalWriteError as exc:
+                # The checkpoint chain is broken: abort rather than keep
+                # computing results that would be lost on the next kill.
+                # Everything already journaled is durable, so a resume
+                # with the same journal loses only this task.
+                raise ExecutorError(
+                    "journal append failed; campaign aborted so completed "
+                    f"work stays resumable: {exc}"
+                ) from exc
         mx = get_metrics()
         if mx:
             mx.counter("runtime.tasks_completed").inc()
@@ -280,6 +444,28 @@ class Executor:
         if self._meter is not None:
             self._meter.advance()
 
+    def _chaos_action(self, task_id: str, attempt: int):
+        """The chaos directive (if any) for one attempt, with telemetry.
+
+        Inline mode cannot survive a crash or hang of itself, so those
+        directives only apply under process isolation; the chaos suite
+        kills inline drivers externally instead.
+        """
+        if self.chaos is None:
+            return None
+        action = self.chaos.task_action(task_id, attempt)
+        if self.inline and action is not None and action[0] in (
+            "crash", "hang"
+        ):
+            action = None
+        if action is not None:
+            point = _CHAOS_POINTS[action[0]]
+            get_metrics().counter(f"chaos.{point}").inc()
+            get_tracer().add_event(
+                "chaos", 0.0, point=point, id=task_id, attempt=attempt,
+            )
+        return action
+
     # -- inline mode --------------------------------------------------------
 
     def _run_inline(
@@ -288,12 +474,16 @@ class Executor:
         if self.initializer is not None:
             self.initializer(*self.initargs)
         for task in pending:
+            if self._draining:
+                return
             attempt = 0
             total = 0.0
             while True:
                 attempt += 1
+                action = self._chaos_action(task.id, attempt)
                 t0 = time.monotonic()
                 try:
+                    apply_worker_action(action)
                     value = fn(task.payload)
                     outcome, error = TaskOutcome.OK, ""
                 except Exception as exc:
@@ -326,9 +516,14 @@ class Executor:
         try:
             while n_done < total:
                 now = time.monotonic()
-                self._dispatch(queue, workers, ctx, fn, now)
+                if not self._draining:
+                    self._dispatch(queue, workers, ctx, fn, now)
                 self._pump(queue, workers, results, ctx, fn)
                 n_done = len([t for t in pending if t.id in results])
+                if self._draining and not any(
+                    w.state == "busy" for w in workers
+                ):
+                    return  # drained: run() raises CampaignInterrupted
         finally:
             self._shutdown(workers)
 
@@ -343,6 +538,11 @@ class Executor:
         child_conn.close()
         return _Worker(proc, parent_conn)
 
+    def _respawn(self, ctx, fn) -> _Worker:
+        """Replace a dead worker mid-campaign (counted, no operator action)."""
+        get_metrics().counter("runtime.workers_respawned").inc()
+        return self._spawn(ctx, fn)
+
     def _dispatch(self, queue, workers, ctx, fn, now) -> None:
         """Hand runnable tasks to idle workers."""
         for i, w in enumerate(workers):
@@ -351,12 +551,13 @@ class Executor:
             entry = self._pop_runnable(queue, now)
             if entry is None:
                 break
+            action = self._chaos_action(entry.task.id, entry.attempt)
             try:
-                w.conn.send(entry.task.payload)
+                w.conn.send((entry.task.payload, action))
             except (BrokenPipeError, OSError):
                 # Worker silently died while idle: replace it, requeue.
                 self._reap(w)
-                workers[i] = self._spawn(ctx, fn)
+                workers[i] = self._respawn(ctx, fn)
                 queue.appendleft(entry)
                 continue
             w.state = "busy"
@@ -386,28 +587,17 @@ class Executor:
         ]
         wake_times += [e.not_before for e in queue if e.not_before > now]
         conns = [w.conn for w in workers if w.state in ("starting", "busy")]
-        timeout = None
+        timeout = self.heartbeat
         if wake_times:
-            timeout = max(0.0, min(wake_times) - now)
+            timeout = min(timeout, max(0.0, min(wake_times) - now))
         if conns:
             ready = _conn_wait(conns, timeout=timeout)
         else:
-            time.sleep(min(timeout, 0.05) if timeout else 0.01)
+            time.sleep(min(timeout, 0.05))
             ready = []
         for conn in ready:
             w = next(w for w in workers if w.conn is conn)
-            try:
-                kind, data = conn.recv()
-            except (EOFError, OSError):
-                self._on_worker_exit(w, workers, queue, results, ctx, fn)
-                continue
-            if kind == "ready":
-                w.state = "idle"
-            elif kind == "init_error":
-                self._shutdown(workers)
-                raise ExecutorError(f"worker initialisation failed: {data}")
-            else:
-                self._on_attempt_done(w, kind, data, queue, results)
+            self._handle_message(w, workers, queue, results, ctx, fn)
         # Enforce wall-clock deadlines.
         now = time.monotonic()
         for i, w in enumerate(workers):
@@ -415,12 +605,45 @@ class Executor:
                 task, attempt = w.task, w.attempt
                 duration = now - w.start + w.prior_duration
                 self._reap(w)
-                workers[i] = self._spawn(ctx, fn)
+                workers[i] = self._respawn(ctx, fn)
                 self._settle_failure(
                     task, attempt, TaskOutcome.TIMEOUT,
                     f"killed after {self.timeout:.3f}s wall-clock",
                     duration, queue, results,
                 )
+        # Heartbeat: catch workers that died without delivering pipe EOF
+        # (fd leaked to a grandchild, exotic kills) and respawn them.
+        self._sweep_dead_workers(workers, queue, results, ctx, fn)
+
+    def _handle_message(self, w, workers, queue, results, ctx, fn) -> None:
+        """Receive and act on one worker message (or its EOF)."""
+        try:
+            kind, data = w.conn.recv()
+        except (EOFError, OSError):
+            self._on_worker_exit(w, workers, queue, results, ctx, fn)
+            return
+        if kind == "ready":
+            w.state = "idle"
+        elif kind == "init_error":
+            self._shutdown(workers)
+            raise ExecutorError(f"worker initialisation failed: {data}")
+        else:
+            self._on_attempt_done(w, kind, data, queue, results)
+
+    def _sweep_dead_workers(self, workers, queue, results, ctx, fn) -> None:
+        """Liveness sweep: handle workers whose process is gone.
+
+        A worker that died after sending its last message still has that
+        message buffered (``poll()`` is true) — drain it through the
+        normal path, which then observes the EOF on the next sweep.
+        """
+        for w in list(workers):
+            if w not in workers or w.proc.is_alive():
+                continue
+            if w.conn.poll():
+                self._handle_message(w, workers, queue, results, ctx, fn)
+            else:
+                self._on_worker_exit(w, workers, queue, results, ctx, fn)
 
     def _on_worker_exit(self, w, workers, queue, results, ctx, fn) -> None:
         """The worker's pipe broke: it died (segfault, OOM-kill, exit)."""
@@ -434,7 +657,7 @@ class Executor:
                 "worker died during initialisation "
                 f"(exit code {w.proc.exitcode})"
             )
-        workers[idx] = self._spawn(ctx, fn)
+        workers[idx] = self._respawn(ctx, fn)
         if state == "busy" and task is not None:
             duration = (
                 time.monotonic() - start + w.prior_duration
@@ -467,13 +690,45 @@ class Executor:
     def _settle_failure(
         self, task, attempt, outcome, error, duration, queue, results
     ) -> None:
-        """Retry an attempt failure if policy allows, else finalise it."""
+        """Retry an attempt failure if policy allows, else finalise it.
+
+        Worker-killing outcomes feed the per-task circuit breaker: a task
+        that keeps destroying workers is quarantined as ``POISONED``
+        before it can exhaust its retry budget on further carnage.
+        """
         mx = get_metrics()
-        if mx:
-            if outcome == TaskOutcome.TIMEOUT:
-                mx.counter("runtime.timeouts").inc()
-            elif outcome == TaskOutcome.WORKER_DIED:
-                mx.counter("runtime.worker_deaths").inc()
+        if outcome in (TaskOutcome.TIMEOUT, TaskOutcome.WORKER_DIED):
+            if mx:
+                if outcome == TaskOutcome.TIMEOUT:
+                    mx.counter("runtime.timeouts").inc()
+                else:
+                    mx.counter("runtime.worker_deaths").inc()
+            kills = self._worker_kills.get(task.id, 0) + 1
+            self._worker_kills[task.id] = kills
+            if self.retry.is_poisoned(kills):
+                if mx:
+                    mx.counter("runtime.tasks_poisoned").inc()
+                    mx.gauge("runtime.breaker_tripped").set(
+                        sum(
+                            1 for k in self._worker_kills.values()
+                            if self.retry.is_poisoned(k)
+                        )
+                    )
+                get_tracer().add_event(
+                    "poisoned", duration, id=task.id, kills=kills,
+                )
+                self._finalize(
+                    task,
+                    TaskResult(
+                        task.id, TaskOutcome.POISONED, None,
+                        f"quarantined after killing {kills} workers "
+                        f"(breaker threshold "
+                        f"{self.retry.poison_threshold}); last: {error}",
+                        attempts=attempt, duration=duration,
+                    ),
+                    results,
+                )
+                return
         if self.retry.should_retry(outcome, attempt):
             if mx:
                 mx.counter("runtime.retries").inc()

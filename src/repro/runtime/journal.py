@@ -4,93 +4,279 @@ The journal is the campaign's crash-consistency mechanism (the same idea
 DAVOS uses to make month-long FPGA injection runs restartable): every
 *final* task result is appended as one self-contained JSON line and
 flushed to disk, so a campaign killed at any point — including mid-write —
-can be resumed by skipping every task the journal already holds.  A
-truncated trailing line (the signature of a SIGKILL during ``write``) is
-tolerated and ignored on load.
+can be resumed by skipping every task the journal already holds.
+
+Integrity is per record: each line carries a CRC32 (the ``_crc`` field)
+over its canonical payload, so silent disk corruption of an *interior*
+record is detected on load instead of being deserialised into a wrong
+result.  Anything unreadable — bad JSON, CRC mismatch, a record missing
+its task id — is moved to a quarantine sidecar (``<journal>.quarantine``)
+and its task re-executed on resume; only a malformed *final* line, the
+expected residue of a kill mid-append, is dropped silently.  Journals
+written before the CRC field existed load unchanged: a record without
+``_crc`` is accepted as-is.
+
+``compact()`` rewrites the file atomically (tmp + fsync + rename +
+directory fsync), dropping superseded duplicates and shedding quarantined
+lines; a kill at any instant of a compaction leaves either the old or the
+new journal, never a mix.
+
+Writes accept an optional :class:`~repro.runtime.chaos.ChaosPolicy`,
+which can corrupt or truncate lines and simulate ``ENOSPC``/``EIO`` —
+the hook the chaos suite uses to prove the above adversarially.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import warnings
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, TextIO, Union
+
+from .errors import JournalWriteError
 
 __all__ = ["Journal"]
 
 PathLike = Union[str, Path]
 
+#: key carrying the per-record checksum; stripped from loaded records
+_CRC_KEY = "_crc"
+
+
+def _canonical(record: dict) -> str:
+    """The canonical serialisation the CRC covers (and the line payload)."""
+    return json.dumps(record, sort_keys=True)
+
+
+def _crc32(text: str) -> int:
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
 
 class Journal:
     """Append-only JSONL record of completed tasks, keyed by task id."""
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike, *, chaos=None) -> None:
         self.path = Path(path)
         if self.path.is_dir():
             raise ValueError(
                 f"journal path {self.path} is a directory; pass a file path"
             )
+        #: dev-only fault injection into journal writes (None = off)
+        self.chaos = chaos
         self._fh: Optional[TextIO] = None
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Sidecar receiving corrupt lines (kept for forensics, never read
+        back by the runtime)."""
+        return self.path.with_name(self.path.name + ".quarantine")
 
     # -- reading ------------------------------------------------------------
 
     def load(self) -> Dict[str, dict]:
         """All journaled records by task id (later lines win).
 
-        Malformed *interior* lines trigger a warning; a malformed *final*
-        line is silently dropped — it is the expected residue of a driver
-        killed mid-append.
+        Corrupt *interior* lines — undecodable JSON, a CRC mismatch, a
+        record without a task id — are quarantined to
+        :attr:`quarantine_path` with one summarising warning; their tasks
+        simply re-run on resume.  A malformed *final* line is dropped
+        silently: it is the expected residue of a driver killed
+        mid-append.  The file is read as bytes with ``errors="replace"``
+        so binary corruption mid-file cannot brick resume with a
+        ``UnicodeDecodeError``.
         """
         records: Dict[str, dict] = {}
         if not self.path.exists():
             return records
-        lines = self.path.read_text().splitlines()
-        for i, line in enumerate(lines):
+        raw_lines = self.path.read_bytes().split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()  # trailing newline, not an empty record
+        quarantined = 0
+        last = len(raw_lines) - 1
+        for i, raw in enumerate(raw_lines):
+            line = raw.decode("utf-8", errors="replace")
             if not line.strip():
                 continue
+            reason = None
+            rec = None
             try:
                 rec = json.loads(line)
             except json.JSONDecodeError:
-                if i != len(lines) - 1:
-                    warnings.warn(
-                        f"journal {self.path}: skipping malformed line {i + 1}",
-                        stacklevel=2,
-                    )
+                if i == last:
+                    continue  # torn tail from a kill mid-append
+                reason = "json_error"
+            if reason is None:
+                if not isinstance(rec, dict):
+                    reason = "not_a_record"
+                else:
+                    crc = rec.pop(_CRC_KEY, None)
+                    if crc is not None and _crc32(_canonical(rec)) != crc:
+                        reason = "crc_mismatch"
+                    elif not isinstance(rec.get("task"), str):
+                        reason = "missing_task_id"
+            if reason is not None:
+                self._quarantine_line(line, i + 1, reason)
+                quarantined += 1
                 continue
-            task_id = rec.get("task")
-            if isinstance(task_id, str):
-                records[task_id] = rec
+            records[rec["task"]] = rec
+        if quarantined:
+            warnings.warn(
+                f"journal {self.path}: quarantined {quarantined} corrupt "
+                f"record(s) to {self.quarantine_path}; their tasks will "
+                "re-run on resume",
+                stacklevel=2,
+            )
         return records
+
+    # -- quarantine ---------------------------------------------------------
+
+    def _quarantine_line(self, line: str, line_no: int, reason: str) -> None:
+        from ..obs import get_metrics
+
+        get_metrics().counter("runtime.journal_quarantined").inc()
+        entry = json.dumps(
+            {"line": line_no, "reason": reason, "raw": line}, sort_keys=True
+        )
+        with self.quarantine_path.open("a") as fh:
+            fh.write(entry + "\n")
+
+    def quarantine_record(self, record: dict, reason: str) -> None:
+        """Quarantine a structurally-bad (but parseable) record — used by
+        the executor when :class:`TaskResult` cannot be rebuilt from it."""
+        try:
+            raw = json.dumps(record, sort_keys=True)
+        except TypeError:
+            raw = repr(record)
+        self._quarantine_line(raw, 0, reason)
 
     # -- writing ------------------------------------------------------------
 
+    def _open_for_append(self) -> TextIO:
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A journal truncated mid-line by a kill must not have the next
+        # record appended onto the partial line: seal it first.
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size:
+            with self.path.open("rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        fh = self.path.open("a")
+        if needs_newline:
+            fh.write("\n")
+        return fh
+
     def append(self, record: dict) -> None:
-        """Durably append one task record (flush + fsync per line)."""
+        """Durably append one task record (flush + fsync per line).
+
+        The written line is the record plus a ``_crc`` checksum field.
+        Filesystem failures (``ENOSPC``, ``EIO``) surface as
+        :class:`~repro.runtime.errors.JournalWriteError`: the result is
+        not durable and the caller must stop checkpoint-dependent work.
+        """
         if self._fh is None:
-            if self.path.parent != Path("."):
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-            # A journal truncated mid-line by a kill must not have the next
-            # record appended onto the partial line: seal it first.
-            needs_newline = False
-            if self.path.exists() and self.path.stat().st_size:
-                with self.path.open("rb") as fh:
-                    fh.seek(-1, os.SEEK_END)
-                    needs_newline = fh.read(1) != b"\n"
-            self._fh = self.path.open("a")
-            if needs_newline:
-                self._fh.write("\n")
+            self._fh = self._open_for_append()
         try:
-            line = json.dumps(record, sort_keys=True)
+            payload = _canonical(record)
         except TypeError as exc:
             raise TypeError(
                 "journal records must be JSON-serialisable; task functions "
                 "used with a journal must return JSON-safe values "
                 f"(task {record.get('task')!r}): {exc}"
             ) from exc
+        line = _canonical({**record, _CRC_KEY: _crc32(payload)})
+        action = (
+            self.chaos.journal_action(str(record.get("task")))
+            if self.chaos is not None else None
+        )
+        try:
+            self._write_line(line, action)
+        except OSError as exc:
+            if isinstance(exc, JournalWriteError):
+                raise
+            raise JournalWriteError(
+                exc.errno or errno.EIO,
+                f"journal {self.path}: append failed: {exc}",
+            ) from exc
+
+    def _write_line(self, line: str, action: Optional[str]) -> None:
+        if action == "journal_enospc":
+            raise JournalWriteError(
+                errno.ENOSPC, f"journal {self.path}: chaos: no space left"
+            )
+        if action == "journal_eio":
+            raise JournalWriteError(
+                errno.EIO, f"journal {self.path}: chaos: I/O error"
+            )
+        if action == "journal_truncate":
+            # A torn write: half the line lands on disk, then the "crash".
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            raise JournalWriteError(
+                errno.EIO,
+                f"journal {self.path}: chaos: simulated crash mid-append",
+            )
+        if action == "journal_corrupt":
+            # Silent on-disk corruption: the write "succeeds", the line is
+            # garbage.  CRC verification catches it on the next load.
+            mid = len(line) // 2
+            line = line[:mid] + "#CHAOS#" + line[mid + 7:]
         self._fh.write(line + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> Dict[str, int]:
+        """Atomically rewrite the journal to one valid line per task.
+
+        Drops superseded duplicate records and corrupt lines (the latter
+        have already been quarantined by :meth:`load`), re-checksums every
+        surviving record, and replaces the file via tmp + fsync + rename
+        + directory fsync — a kill at any point leaves either the old or
+        the new journal intact, never a hybrid.  Returns size statistics.
+        """
+        from ..obs import get_metrics
+
+        self.close()
+        bytes_before = (
+            self.path.stat().st_size if self.path.exists() else 0
+        )
+        records = self.load()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w") as fh:
+            for rec in records.values():
+                payload = _canonical(rec)
+                fh.write(
+                    _canonical({**rec, _CRC_KEY: _crc32(payload)}) + "\n"
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fsync_dir()
+        get_metrics().counter("runtime.journal_compactions").inc()
+        return {
+            "records": len(records),
+            "bytes_before": bytes_before,
+            "bytes_after": self.path.stat().st_size,
+        }
+
+    def _fsync_dir(self) -> None:
+        """Make the rename itself durable (best-effort off POSIX)."""
+        try:
+            fd = os.open(self.path.parent or Path("."), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def close(self) -> None:
         if self._fh is not None:

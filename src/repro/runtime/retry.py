@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .errors import TaskOutcome
 
@@ -37,10 +37,23 @@ class RetryPolicy:
     seed: int = 0
     #: outcomes worth retrying (infrastructure failures only)
     retry_on: Tuple[str, ...] = (TaskOutcome.WORKER_DIED, TaskOutcome.TIMEOUT)
+    #: per-task circuit breaker: a task whose attempts have killed this
+    #: many workers (death or timeout-kill) is quarantined as ``poisoned``
+    #: instead of burning its remaining retries and more workers.
+    #: ``None`` disables the breaker.
+    poison_threshold: Optional[int] = 3
 
     def should_retry(self, outcome: str, attempt: int) -> bool:
         """Whether attempt number ``attempt`` (1-based) may be repeated."""
         return outcome in self.retry_on and attempt < self.max_attempts
+
+    def is_poisoned(self, worker_kills: int) -> bool:
+        """Whether a task that has killed ``worker_kills`` workers has
+        tripped the breaker."""
+        return (
+            self.poison_threshold is not None
+            and worker_kills >= self.poison_threshold
+        )
 
     def delay(self, task_id: str, attempt: int) -> float:
         """Seconds to wait before re-running ``task_id`` after ``attempt``."""

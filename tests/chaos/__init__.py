@@ -1,0 +1,1 @@
+"""Chaos suite: the campaign runtime fault-injected against itself."""

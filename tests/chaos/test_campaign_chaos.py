@@ -1,0 +1,110 @@
+"""Chaos through the real Table II campaign: a fault-ridden, killed and
+resumed injection campaign must reach byte-identical results to an
+unfaulted run of the same seed."""
+
+import warnings
+
+import pytest
+
+from repro.faultinject import run_campaign
+from repro.runtime import (
+    ChaosPolicy,
+    ChaosSpec,
+    ExecutorError,
+    RetryPolicy,
+    TaskOutcome,
+)
+
+from .conftest import CHAOS_SEED
+
+ARGS = dict(n_single=8, max_groups_per_mode=2, seed=0, n_cus=1)
+
+#: chaos-injected infra failures must be retried for the campaign to
+#: converge; the breaker stays off because probabilistic faults are not
+#: poison
+CONVERGE = RetryPolicy(
+    max_attempts=20,
+    retry_on=(
+        TaskOutcome.INFRA_ERROR,
+        TaskOutcome.WORKER_DIED,
+        TaskOutcome.TIMEOUT,
+    ),
+    poison_threshold=None,
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_campaign("transpose", **ARGS)
+
+
+class TestCampaignUnderChaos:
+    def test_task_storm_matches_reference(self, reference, tmp_path):
+        """Exception storms and latency injection change nothing about
+        the campaign's scientific output."""
+        policy = ChaosPolicy(
+            ChaosSpec(task_error=0.4, slow_task=0.3, slow_seconds=0.001),
+            seed=CHAOS_SEED,
+        )
+        chaotic = run_campaign(
+            "transpose", journal=str(tmp_path / "j.jsonl"),
+            retry=CONVERGE, chaos=policy, **ARGS,
+        )
+        assert chaotic == reference
+        assert chaotic.failures == {}
+
+    def test_killed_chaotic_campaign_resumes_to_reference(
+        self, reference, tmp_path
+    ):
+        """Storm + silent journal corruption, then a SIGKILL-style torn
+        tail; the chaos-free resume must reconstruct the reference run."""
+        jp = tmp_path / "j.jsonl"
+        policy = ChaosPolicy(
+            ChaosSpec(task_error=0.4, journal_corrupt=0.3), seed=CHAOS_SEED
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            run_campaign(
+                "transpose", journal=str(jp), retry=CONVERGE,
+                chaos=policy, **ARGS,
+            )
+            lines = jp.read_text().splitlines()
+            jp.write_text(
+                "\n".join(lines[:-1]) + "\n"
+                + lines[-1][: len(lines[-1]) // 2]
+            )
+            resumed = run_campaign(
+                "transpose", journal=str(jp), retry=CONVERGE, **ARGS
+            )
+        assert resumed == reference
+
+    def test_write_fault_abort_resumes_to_reference(
+        self, reference, tmp_path
+    ):
+        """Simulated ENOSPC aborts the campaign with completed work
+        durable; resuming without chaos completes it exactly."""
+        jp = tmp_path / "j.jsonl"
+        policy = ChaosPolicy(ChaosSpec(journal_enospc=0.4), seed=CHAOS_SEED)
+        singles_fire = any(
+            policy.journal_action(f"transpose/single/{i:05d}") is not None
+            for i in range(ARGS["n_single"])
+        )
+        aborted = False
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                run_campaign(
+                    "transpose", journal=str(jp), retry=CONVERGE,
+                    chaos=policy, **ARGS,
+                )
+        except ExecutorError:
+            aborted = True
+        # If the schedule faults any single-injection append, the run
+        # must have aborted (multi-bit ids may fire even when none do).
+        assert aborted or not singles_fire
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed = run_campaign(
+                "transpose", journal=str(jp), retry=CONVERGE, **ARGS
+            )
+        assert resumed == reference

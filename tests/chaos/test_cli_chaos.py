@@ -1,0 +1,78 @@
+"""CLI surface of the resilience work: the dev-only --chaos flags and
+the `campaign compact` journal-maintenance subcommand."""
+
+import pytest
+
+from repro.cli import _strip_chaos_args, main
+from repro.runtime import Journal
+
+
+class TestResumeCommand:
+    def test_chaos_flags_stripped_from_suggested_resume(self):
+        """The drain-time resume recipe must drop the chaos flags:
+        journal faults are keyed per task and would replay on resume."""
+        argv = [
+            "inject", "transpose", "--jobs", "2",
+            "--chaos-spec", "journal_enospc=0.5", "--chaos-seed", "3",
+            "--resume", "j.jsonl",
+        ]
+        assert _strip_chaos_args(argv) == [
+            "inject", "transpose", "--jobs", "2", "--resume", "j.jsonl",
+        ]
+
+    def test_equals_form_stripped_too(self):
+        argv = ["inject", "t", "--chaos-spec=worker_crash=1.0",
+                "--chaos-seed=7", "--resume", "j.jsonl"]
+        assert _strip_chaos_args(argv) == [
+            "inject", "t", "--resume", "j.jsonl",
+        ]
+
+    def test_plain_argv_untouched(self):
+        argv = ["inject", "t", "--jobs", "4", "--resume", "j.jsonl"]
+        assert _strip_chaos_args(argv) == argv
+
+
+class TestChaosFlags:
+    def test_bad_chaos_point_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["inject", "vectoradd", "--chaos-spec", "warp_drive=0.5"])
+        assert "--chaos-spec" in capsys.readouterr().err
+
+    def test_bad_chaos_probability_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["inject", "vectoradd", "--chaos-spec", "worker_crash=2.0"])
+        assert "--chaos-spec" in capsys.readouterr().err
+
+    def test_chaos_run_announces_dev_mode(self, capsys, tmp_path):
+        rc = main([
+            "inject", "vectoradd", "--singles", "2", "--groups", "1",
+            "--cus", "1", "--chaos-spec", "slow_task=1.0",
+            "--chaos-seed", "3", "--resume", str(tmp_path / "j.jsonl"),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "CHAOS MODE (dev)" in captured.err
+        assert "SDC ACE bits" in captured.out
+
+
+class TestCompactCommand:
+    def test_compact_requires_journal(self, capsys):
+        assert main(["campaign", "compact"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_compact_rejects_missing_journal(self, capsys, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["campaign", "compact", "--resume", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_compact_rewrites_journal(self, capsys, tmp_path):
+        jp = tmp_path / "j.jsonl"
+        j = Journal(jp)
+        j.append({"task": "a", "outcome": "ok", "value": 1})
+        j.append({"task": "a", "outcome": "ok", "value": 2})  # superseded
+        j.append({"task": "b", "outcome": "ok", "value": 3})
+        j.close()
+        assert main(["campaign", "compact", "--resume", str(jp)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert len(jp.read_text().splitlines()) == 2
+        assert Journal(jp).load()["a"]["value"] == 2

@@ -1,0 +1,133 @@
+"""Graceful SIGINT/SIGTERM drain: first signal lets in-flight work finish
+and seals the journal, second signal aborts, and a drained campaign
+resumes to completion without re-running anything."""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    CampaignInterrupted,
+    Executor,
+    Journal,
+    Task,
+    TaskOutcome,
+)
+
+from ..runtime.stubs import dispatch
+
+
+def _self_signal(payload):
+    """Inline task that raises a signal against its own process, or runs
+    the ok stub."""
+    kind, arg = payload
+    if kind == "signal":
+        os.kill(os.getpid(), arg)
+        return "signalled"
+    return arg * 2
+
+
+class TestInlineDrain:
+    @pytest.mark.parametrize("sig", [signal.SIGINT, signal.SIGTERM])
+    def test_first_signal_drains_seals_and_resumes(self, tmp_path, sig):
+        jp = tmp_path / "j.jsonl"
+        tasks = [
+            Task("a", ("ok", 1)),
+            Task("b", ("signal", sig)),
+            Task("c", ("ok", 3)),
+            Task("d", ("ok", 4)),
+        ]
+        with pytest.raises(CampaignInterrupted) as info:
+            Executor(_self_signal, jobs=0, journal=jp).run(tasks)
+        stop = info.value
+        # The in-flight task ("b") finished and journaled before the stop.
+        assert stop.completed == 2
+        assert stop.total == 4
+        assert stop.journal_path == jp
+        assert set(Journal(jp).load()) == {"a", "b"}
+
+        seen = []
+
+        def resume_fn(payload):
+            seen.append(payload)
+            return payload[1] * 2
+
+        results = Executor(resume_fn, jobs=0, journal=jp).run(tasks)
+        assert len(results) == 4
+        assert all(r.outcome == TaskOutcome.OK for r in results.values())
+        # Only the two never-journaled tasks ran on resume.
+        assert seen == [("ok", 3), ("ok", 4)]
+        assert results["b"].value == "signalled"
+        assert results["d"].value == 8
+
+    def test_second_signal_aborts_immediately(self):
+        def fn(payload):
+            os.kill(os.getpid(), signal.SIGINT)
+            os.kill(os.getpid(), signal.SIGINT)
+            return 1
+
+        with pytest.raises(KeyboardInterrupt) as info:
+            Executor(fn, jobs=0).run([Task("x"), Task("y")])
+        # A hard abort, not the graceful-drain subtype.
+        assert not isinstance(info.value, CampaignInterrupted)
+
+    def test_handlers_restored_after_run(self):
+        before = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        Executor(dispatch, jobs=0).run([Task("a", ("ok", 1))])
+        after = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        assert after == before
+
+    def test_drain_signals_can_be_disabled(self):
+        before = signal.getsignal(signal.SIGINT)
+
+        def fn(payload):
+            # With drain_signals=False the executor must not have swapped
+            # the handler in.
+            return signal.getsignal(signal.SIGINT) is before
+
+        results = Executor(fn, jobs=0, drain_signals=False).run([Task("x")])
+        assert results["x"].value is True
+
+
+class TestProcessDrain:
+    def test_sigterm_drains_in_flight_workers(self, tmp_path):
+        """Process mode: on SIGTERM, busy workers finish their current
+        task (journaled), nothing new dispatches, and the run raises
+        CampaignInterrupted with an accurate completion count."""
+        jp = tmp_path / "j.jsonl"
+        tasks = [Task(f"s{i:02d}", ("sleep", 0.6)) for i in range(8)]
+
+        def fire_when_first_record_lands():
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if jp.exists() and jp.stat().st_size > 0:
+                    os.kill(os.getpid(), signal.SIGTERM)
+                    return
+                time.sleep(0.05)
+
+        trigger = threading.Thread(
+            target=fire_when_first_record_lands, daemon=True
+        )
+        trigger.start()
+        with pytest.raises(CampaignInterrupted) as info:
+            Executor(dispatch, jobs=2, journal=jp).run(tasks)
+        trigger.join(5)
+        stop = info.value
+        assert 0 < stop.completed < len(tasks)
+        # The journal is sealed: exactly the completed tasks, durably.
+        journaled = set(Journal(jp).load())
+        assert len(journaled) == stop.completed
+        # Chaos-free resume finishes the campaign.
+        resumed = Executor(dispatch, jobs=0, journal=jp).run(tasks)
+        assert {k: r.value for k, r in resumed.items()} == {
+            t.id: "slept" for t in tasks
+        }

@@ -1,0 +1,239 @@
+"""Journal-side chaos and hardening: simulated write failures, per-record
+CRC integrity, the quarantine sidecar, atomic compaction, and the
+cross-version contract that CRC-less journals keep loading."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.runtime import (
+    ChaosPolicy,
+    ChaosSpec,
+    Executor,
+    ExecutorError,
+    Journal,
+    JournalWriteError,
+    Task,
+)
+from repro.runtime.journal import _canonical, _crc32
+
+from ..runtime.stubs import dispatch
+from .conftest import (
+    CHAOS_SEED,
+    expected_map,
+    journaled_ids,
+    ok_tasks,
+    outcome_map,
+)
+
+
+class TestWriteFaultChaos:
+    @pytest.mark.parametrize(
+        "point", ["journal_enospc", "journal_eio", "journal_truncate"]
+    )
+    def test_aborted_campaign_resumes_to_fault_free_result(
+        self, tmp_path, point
+    ):
+        """ENOSPC/EIO/torn-write on append abort the campaign (completed
+        work stays durable); a chaos-free resume converges exactly."""
+        tasks = ok_tasks(point, 6)
+        policy = ChaosPolicy(ChaosSpec(**{point: 0.5}), seed=CHAOS_SEED)
+        jp = tmp_path / "j.jsonl"
+        fired = any(policy.journal_action(t.id) is not None for t in tasks)
+        aborted = False
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                Executor(
+                    dispatch, jobs=0, journal=jp, chaos=policy
+                ).run(tasks)
+        except ExecutorError as exc:
+            aborted = True
+            assert "resumable" in str(exc)
+        assert aborted == fired
+        # Resume WITHOUT chaos: journal faults are keyed per task id and
+        # would replay forever otherwise.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed = Executor(dispatch, jobs=0, journal=jp).run(tasks)
+        assert outcome_map(resumed) == expected_map(tasks)
+        assert sorted(journaled_ids(jp)) == sorted(t.id for t in tasks)
+
+    def test_direct_append_fault_is_typed(self, tmp_path):
+        policy = ChaosPolicy(ChaosSpec(journal_enospc=1.0), seed=CHAOS_SEED)
+        j = Journal(tmp_path / "j.jsonl", chaos=policy)
+        with pytest.raises(JournalWriteError):
+            j.append({"task": "a", "outcome": "ok"})
+        j.close()
+
+
+class TestCorruptionChaos:
+    def test_corrupt_records_quarantined_and_rerun(self, tmp_path):
+        """journal_corrupt writes garbage that 'succeeds'; the CRC catches
+        it on the next load, the record is quarantined, the task re-runs,
+        and compaction restores one valid line per task."""
+        tasks = ok_tasks("jc", 6)
+        policy = ChaosPolicy(ChaosSpec(journal_corrupt=0.4), seed=CHAOS_SEED)
+        jp = tmp_path / "j.jsonl"
+        first = Executor(dispatch, jobs=0, journal=jp, chaos=policy).run(
+            tasks
+        )
+        assert outcome_map(first) == expected_map(tasks)  # silent on write
+        corrupted = [
+            t.id for t in tasks
+            if policy.journal_action(t.id) == "journal_corrupt"
+        ]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resumed = Executor(dispatch, jobs=0, journal=jp).run(tasks)
+        assert outcome_map(resumed) == expected_map(tasks)
+        # A corrupt *final* line is torn-tail residue (dropped silently);
+        # corrupt interior lines must be quarantined with a warning.
+        interior = [i for i in corrupted if i != tasks[-1].id]
+        if interior:
+            assert jp.with_name(jp.name + ".quarantine").exists()
+            assert any(
+                "quarantined" in str(w.message) for w in caught
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            stats = Journal(jp).compact()
+        assert stats["records"] == len(tasks)
+        lines = jp.read_text().splitlines()
+        assert len(lines) == len(tasks)
+        for line in lines:
+            rec = json.loads(line)
+            assert rec.pop("_crc") == _crc32(_canonical(rec))
+
+    def test_interior_bitflip_detected_by_crc(self, tmp_path):
+        """Silent disk corruption that stays valid JSON: only the
+        checksum can catch it."""
+        jp = tmp_path / "j.jsonl"
+        j = Journal(jp)
+        j.append({"task": "a", "outcome": "ok", "value": 1})
+        j.append({"task": "b", "outcome": "ok", "value": 2})
+        j.close()
+        lines = jp.read_text().splitlines()
+        assert '"value": 1' in lines[0]
+        lines[0] = lines[0].replace('"value": 1', '"value": 7')
+        jp.write_text("\n".join(lines) + "\n")
+        with pytest.warns(UserWarning, match="quarantined"):
+            loaded = Journal(jp).load()
+        assert set(loaded) == {"b"}
+        q = jp.with_name(jp.name + ".quarantine")
+        entries = [json.loads(x) for x in q.read_text().splitlines()]
+        assert entries[0]["reason"] == "crc_mismatch"
+
+    def test_binary_garbage_does_not_brick_resume(self, tmp_path):
+        """An interior run of raw bytes (bad sector) must quarantine, not
+        raise UnicodeDecodeError and kill the resume."""
+        jp = tmp_path / "j.jsonl"
+        j = Journal(jp)
+        j.append({"task": "a", "outcome": "ok", "value": 1})
+        j.close()
+        with jp.open("ab") as fh:
+            fh.write(b"\xff\xfe\x00garbage\xff\n")
+        j2 = Journal(jp)
+        j2.append({"task": "b", "outcome": "ok", "value": 2})
+        j2.close()
+        with pytest.warns(UserWarning, match="quarantined"):
+            loaded = Journal(jp).load()
+        assert set(loaded) == {"a", "b"}
+
+    def test_unusable_record_quarantined_and_task_rerun(self, tmp_path):
+        """A record that parses but cannot rebuild a TaskResult (typed
+        JournalRecordError path): quarantined, task re-runs, resume
+        continues instead of aborting."""
+        jp = tmp_path / "j.jsonl"
+        rec = {"task": "a", "outcome": 123}  # outcome must be a string
+        jp.write_text(
+            _canonical({**rec, "_crc": _crc32(_canonical(rec))}) + "\n"
+        )
+        with pytest.warns(UserWarning, match="unusable"):
+            results = Executor(dispatch, jobs=0, journal=jp).run(
+                [Task("a", ("ok", 5))]
+            )
+        assert results["a"].value == 10
+        assert jp.with_name(jp.name + ".quarantine").exists()
+
+
+class TestCrcVersioning:
+    def test_old_crcless_journal_loads_and_upgrades(self, tmp_path):
+        """Round trip across journal format versions: records written
+        before the CRC field existed load as-is, new appends carry a CRC,
+        and compaction upgrades everything."""
+        jp = tmp_path / "old.jsonl"
+        old = {
+            "task": "a", "outcome": "ok", "value": 1,
+            "error": "", "attempts": 1, "duration": 0.0,
+        }
+        jp.write_text(json.dumps(old) + "\n")
+        j = Journal(jp)
+        assert j.load() == {"a": old}
+        j.append({"task": "b", "outcome": "ok", "value": 2})
+        j.close()
+        raw = [json.loads(x) for x in jp.read_text().splitlines()]
+        assert "_crc" not in raw[0]
+        assert "_crc" in raw[1]
+        loaded = Journal(jp).load()
+        assert set(loaded) == {"a", "b"}
+        assert all("_crc" not in rec for rec in loaded.values())
+        Journal(jp).compact()
+        for line in jp.read_text().splitlines():
+            rec = json.loads(line)
+            assert rec.pop("_crc") == _crc32(_canonical(rec))
+        # The executor resumes from the upgraded journal without re-runs.
+        def must_not_run(payload):
+            raise AssertionError("journaled task re-executed")
+
+        results = Executor(must_not_run, jobs=0, journal=jp).run(
+            [Task("a"), Task("b")]
+        )
+        assert results["a"].value == 1
+        assert results["b"].value == 2
+
+
+class TestCompactCrashConsistency:
+    def _journal_with(self, jp, n):
+        j = Journal(jp)
+        for i in range(n):
+            j.append({"task": f"t{i}", "outcome": "ok", "value": i})
+        j.close()
+
+    def test_stale_tmp_from_killed_compaction_is_harmless(self, tmp_path):
+        """Resume after a kill mid-compact(): the rename never happened,
+        so the original journal is untouched; the half-written tmp file
+        is ignored by load and consumed by the next compaction."""
+        jp = tmp_path / "j.jsonl"
+        self._journal_with(jp, 3)
+        before = Journal(jp).load()
+        tmp = jp.with_name(jp.name + ".tmp")
+        tmp.write_text('{"task": "half-writ')  # killed before os.replace
+        assert Journal(jp).load() == before
+        stats = Journal(jp).compact()
+        assert stats["records"] == 3
+        assert not tmp.exists()
+        assert Journal(jp).load() == before
+
+    def test_compact_drops_superseded_duplicates(self, tmp_path):
+        jp = tmp_path / "j.jsonl"
+        j = Journal(jp)
+        j.append({"task": "a", "outcome": "ok", "value": 1})
+        j.append({"task": "a", "outcome": "ok", "value": 2})
+        j.append({"task": "b", "outcome": "ok", "value": 3})
+        j.close()
+        stats = Journal(jp).compact()
+        assert stats["records"] == 2
+        assert stats["bytes_after"] < stats["bytes_before"]
+        assert len(jp.read_text().splitlines()) == 2
+        assert Journal(jp).load()["a"]["value"] == 2
+
+    def test_append_continues_after_compaction(self, tmp_path):
+        jp = tmp_path / "j.jsonl"
+        j = Journal(jp)
+        j.append({"task": "a", "outcome": "ok", "value": 1})
+        j.compact()
+        j.append({"task": "b", "outcome": "ok", "value": 2})
+        j.close()
+        assert set(Journal(jp).load()) == {"a", "b"}

@@ -1,6 +1,7 @@
 """Tests for the fault-tolerant campaign runtime executor."""
 
 import json
+import warnings
 
 import pytest
 
@@ -104,9 +105,25 @@ class TestInlineExecutor:
         with pytest.raises(ValueError):
             Executor(dispatch, jobs=0).run([Task("a"), Task("a")])
 
-    def test_timeout_without_isolation_warns(self):
-        with pytest.warns(UserWarning):
-            Executor(dispatch, jobs=0, timeout=1.0)
+    def test_timeout_without_isolation_warns_once(self):
+        from repro import obs
+        from repro.runtime.executor import _reset_inline_timeout_warning
+
+        _reset_inline_timeout_warning()
+        registry, _ = obs.enable()
+        try:
+            with pytest.warns(UserWarning):
+                Executor(dispatch, jobs=0, timeout=1.0)
+            # The warning is once-per-process; the metric records every
+            # occurrence so campaigns can still see the misconfiguration.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                Executor(dispatch, jobs=0, timeout=1.0)
+            counters = registry.snapshot()["counters"]
+            assert counters["runtime.timeout_unenforced"] == 2
+        finally:
+            obs.disable()
+            _reset_inline_timeout_warning()
 
     def test_initializer_runs_inline(self):
         seen = []
