@@ -344,9 +344,16 @@ def _cmd_mttf(args) -> int:
 def _cmd_stats(args) -> int:
     """Run a workload plus one AVF measurement with full observability on,
     then print the per-stage timing and metrics report."""
+    from .obs import get_metrics
+
     study = _build_study(args)
     study.cache_avf("l1", FaultMode.linear(2), SCHEMES["parity"])
-    print(observability_report())
+    if args.prometheus:
+        # Scrapeable text exposition instead of the human report, so the
+        # engine counters feed straight into a Prometheus file collector.
+        print(get_metrics().to_prometheus(), end="")
+    else:
+        print(observability_report())
     return 0
 
 
@@ -487,6 +494,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_common(p_stats)
     _add_obs_args(p_stats)
+    p_stats.add_argument(
+        "--prometheus", action="store_true",
+        help="print the metrics in the Prometheus text exposition format "
+             "instead of the human-readable report",
+    )
 
     args = parser.parse_args(argv)
     # Validate export paths up front: a campaign must not run for an hour

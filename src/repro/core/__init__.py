@@ -11,10 +11,12 @@ from .designer import (
 from .markov import WordMarkovModel, cache_mttf_hours, word_mttf_hours
 from .sweep import SweepPoint, sweep_cache_avf, sweep_vgpr_avf, tabulate
 from .avf import (
+    AvfConfig,
     MbAvfResult,
     StructureLifetimes,
     ace_locality,
     compute_mb_avf,
+    compute_mb_avf_batch,
     compute_sb_avf,
     merge_results,
 )
@@ -62,10 +64,12 @@ __all__ = [
     "sweep_cache_avf",
     "sweep_vgpr_avf",
     "tabulate",
+    "AvfConfig",
     "MbAvfResult",
     "StructureLifetimes",
     "ace_locality",
     "compute_mb_avf",
+    "compute_mb_avf_batch",
     "compute_sb_avf",
     "merge_results",
     "MX1_MODES",

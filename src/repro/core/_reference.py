@@ -1,0 +1,331 @@
+"""Pure-Python reference implementations of the engine's hot paths.
+
+The production kernels in :mod:`repro.core.intervals` and
+:mod:`repro.core.avf` are numpy-vectorized; this module preserves the
+original (pre-vectorization) per-event / per-placement implementations as
+an executable specification.  The equivalence suite
+(``tests/core/test_vectorized_equivalence.py``) property-tests that the
+vectorized kernels, the windowed 2-D enumerator and the batch API produce
+byte-identical intervals, signatures, outcome cycles and series.
+
+Nothing here is used on the production path — do not optimise it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .intervals import AceClass, Interval, IntervalSet, Outcome
+from .layout import SramArray
+from .protection import ProtectionScheme, classify_region
+
+__all__ = [
+    "sweep_max_ref",
+    "combine_outcomes_ref",
+    "map_class_ref",
+    "clip_ref",
+    "bucket_accumulate_ref",
+    "total_ref",
+    "total_at_least_ref",
+    "intersection_duration_ref",
+    "enumerate_signatures_ref",
+    "ace_locality_ref",
+    "compute_outcome_cycles_ref",
+]
+
+
+def sweep_max_ref(sets: Sequence[IntervalSet]) -> IntervalSet:
+    """Event-at-a-time pointwise maximum-class union (eq. 5)."""
+    live = [s for s in sets if s]
+    if not live:
+        return IntervalSet()
+    if len(live) == 1:
+        return IntervalSet._from_sorted(live[0].intervals())
+    events: List[Tuple[int, int, int]] = []  # (cycle, delta, cls)
+    maxcls = 0
+    for iset in live:
+        for s, e, c in iset:
+            events.append((s, +1, c))
+            events.append((e, -1, c))
+            if c > maxcls:
+                maxcls = c
+    events.sort()
+    counts = [0] * (maxcls + 1)
+    out: List[Interval] = []
+    cur_cls = 0
+    cur_start = 0
+    i, n = 0, len(events)
+    while i < n:
+        cyc = events[i][0]
+        while i < n and events[i][0] == cyc:
+            _, d, c = events[i]
+            counts[c] += d
+            i += 1
+        new_cls = 0
+        for c in range(maxcls, 0, -1):
+            if counts[c] > 0:
+                new_cls = c
+                break
+        if new_cls != cur_cls:
+            if cur_cls != 0 and cyc > cur_start:
+                if out and out[-1][1] == cur_start and out[-1][2] == cur_cls:
+                    ps, _, pc = out[-1]
+                    out[-1] = (ps, cyc, pc)
+                else:
+                    out.append((cur_start, cyc, cur_cls))
+            cur_start = cyc
+            cur_cls = new_cls
+    return IntervalSet._from_sorted(out)
+
+
+def combine_outcomes_ref(
+    sets: Sequence[IntervalSet], *, due_preempts_sdc: bool = False
+) -> IntervalSet:
+    """Reference group-outcome combination (Sec. VII-B / Sec. VIII rules)."""
+    if not due_preempts_sdc:
+        return sweep_max_ref(sets)
+    merged = sweep_max_ref(sets)
+    if not merged:
+        return merged
+    due_times = sweep_max_ref(
+        [
+            map_class_ref(
+                s, lambda c: 1 if c in (Outcome.TRUE_DUE, Outcome.FALSE_DUE) else 0
+            )
+            for s in sets
+        ]
+    )
+    if not due_times:
+        return merged
+    out: List[Interval] = []
+
+    def emit(s: int, e: int, c: int) -> None:
+        if out and out[-1][1] == s and out[-1][2] == c:
+            ps, _, pc = out[-1]
+            out[-1] = (ps, e, pc)
+        else:
+            out.append((s, e, c))
+
+    due_ivals = due_times.intervals()
+    for s, e, c in merged:
+        if c != Outcome.SDC:
+            emit(s, e, c)
+            continue
+        cur = s
+        for ds, de, _ in due_ivals:
+            if de <= cur or ds >= e:
+                continue
+            if ds > cur:
+                emit(cur, ds, int(Outcome.SDC))
+            ov_end = min(de, e)
+            emit(max(ds, cur), ov_end, int(Outcome.TRUE_DUE))
+            cur = ov_end
+            if cur >= e:
+                break
+        if cur < e:
+            emit(cur, e, int(Outcome.SDC))
+    return IntervalSet._from_sorted(out)
+
+
+def map_class_ref(iset: IntervalSet, fn: Callable[[int], int]) -> IntervalSet:
+    """Per-interval class remap with adjacent same-class coalescing."""
+    out: List[Interval] = []
+    for s, e, c in iset:
+        c2 = fn(c)
+        if c2 == 0:
+            continue
+        if out and out[-1][1] == s and out[-1][2] == c2:
+            ps, _, pc = out[-1]
+            out[-1] = (ps, e, pc)
+        else:
+            out.append((s, e, c2))
+    return IntervalSet._from_sorted(out)
+
+
+def clip_ref(iset: IntervalSet, start: int, end: int) -> IntervalSet:
+    """Per-interval window restriction."""
+    out: List[Interval] = []
+    for s, e, c in iset:
+        s2, e2 = max(s, start), min(e, end)
+        if s2 < e2:
+            out.append((s2, e2, c))
+    return IntervalSet._from_sorted(out)
+
+
+def bucket_accumulate_ref(iset: IntervalSet, edges: Sequence[int], out) -> None:
+    """Per-interval, per-bucket overlap accumulation."""
+    import bisect
+
+    nb = len(edges) - 1
+    for s, e, c in iset:
+        lo = bisect.bisect_right(edges, s) - 1
+        lo = max(lo, 0)
+        for b in range(lo, nb):
+            bs, be = edges[b], edges[b + 1]
+            if bs >= e:
+                break
+            ov = min(e, be) - max(s, bs)
+            if ov > 0:
+                out[b][c] += ov
+
+
+def total_ref(iset: IntervalSet, klass: int) -> int:
+    return sum(e - s for s, e, c in iset if c == klass)
+
+
+def total_at_least_ref(iset: IntervalSet, klass: int) -> int:
+    return sum(e - s for s, e, c in iset if c >= klass)
+
+
+def intersection_duration_ref(a: IntervalSet, b: IntervalSet, klass: int) -> int:
+    """Two-pointer merge of cycles with both sets at class >= ``klass``."""
+    ivals_a = [(s, e) for s, e, c in a if c >= klass]
+    ivals_b = [(s, e) for s, e, c in b if c >= klass]
+    total = 0
+    i = j = 0
+    while i < len(ivals_a) and j < len(ivals_b):
+        s = max(ivals_a[i][0], ivals_b[j][0])
+        e = min(ivals_a[i][1], ivals_b[j][1])
+        if s < e:
+            total += e - s
+        if ivals_a[i][1] < ivals_b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+GroupSignature = Tuple[Tuple[int, FrozenSet[int]], ...]
+
+
+def enumerate_signatures_ref(
+    array: SramArray, byte2iid: np.ndarray, mode
+) -> Dict[GroupSignature, int]:
+    """Per-placement fault-group signature counting (any mode geometry).
+
+    This is the generic nested-loop enumerator the vectorized 2-D windowed
+    path replaced.  Unlike the production enumerator it also emits the
+    signature of all-lifetime-empty placements (whose regions classify to
+    nothing either way); equivalence tests compare after dropping it.
+    """
+    h, w = mode.height, mode.width
+    rows, cols = array.rows, array.cols
+    if h > rows or w > cols:
+        return {}
+    iid_of = byte2iid[array.byte_of]
+    dom_of = array.domain_of
+    sigs: Dict[GroupSignature, int] = {}
+    offsets = mode.offsets
+    for r0 in range(rows - h + 1):
+        dom_rows = [list(map(int, dom_of[r0 + dr])) for dr in range(h)]
+        iid_rows = [list(map(int, iid_of[r0 + dr])) for dr in range(h)]
+        for c0 in range(cols - w + 1):
+            regions: Dict[int, Tuple[int, set]] = {}
+            for dr, dc in offsets:
+                d = dom_rows[dr][c0 + dc]
+                iid = iid_rows[dr][c0 + dc]
+                if d in regions:
+                    n, ids = regions[d]
+                    if iid:
+                        ids.add(iid)
+                    regions[d] = (n + 1, ids)
+                else:
+                    regions[d] = (1, {iid} if iid else set())
+            sig = tuple(
+                sorted((n, frozenset(ids)) for n, ids in regions.values())
+            )
+            sigs[sig] = sigs.get(sig, 0) + 1
+    return sigs
+
+
+def ace_locality_ref(array: SramArray, lifetimes) -> float:
+    """Row-at-a-time adjacent-pair ACE locality (Sec. VI-B)."""
+    from .avf import _canonical_iset_ids
+
+    canon = _canonical_iset_ids(lifetimes)
+    byte2iid, isets = canon.byte2iid, canon.isets
+    iid_of = byte2iid[array.byte_of]
+    pair_counts: Dict[Tuple[int, int], int] = {}
+    for r in range(array.rows):
+        row = iid_of[r]
+        left, right = row[:-1], row[1:]
+        keys = np.stack([left, right], axis=1)
+        uniq, counts = np.unique(keys, axis=0, return_counts=True)
+        for (a, b), n in zip(uniq, counts):
+            pair_counts[(int(a), int(b))] = pair_counts.get((int(a), int(b)), 0) + int(n)
+    inter = 0.0
+    union = 0.0
+    ace = int(AceClass.ACE)
+    for (ia, ib), n in pair_counts.items():
+        da = total_at_least_ref(isets[ia], ace) if ia else 0
+        db = total_at_least_ref(isets[ib], ace) if ib else 0
+        if da == 0 and db == 0:
+            continue
+        ov = (
+            intersection_duration_ref(isets[ia], isets[ib], ace)
+            if ia and ib
+            else 0
+        )
+        inter += n * ov
+        union += n * (da + db - ov)
+    return inter / union if union else 1.0
+
+
+def compute_outcome_cycles_ref(
+    array: SramArray,
+    lifetimes,
+    mode,
+    scheme: ProtectionScheme,
+    *,
+    due_preempts_sdc: bool = False,
+    miscorrect_corrupts: bool = False,
+    series_edges: Optional[Sequence[int]] = None,
+):
+    """Reference MB-AVF core: per-placement enumeration + reference kernels.
+
+    Returns ``(outcome_cycles, series)`` computed exactly as the
+    pre-vectorization engine did; the production
+    :func:`repro.core.avf.compute_mb_avf` must reproduce both bit-for-bit.
+    """
+    from .avf import _canonical_iset_ids
+
+    canon = _canonical_iset_ids(lifetimes)
+    isets = canon.isets
+    sigs = enumerate_signatures_ref(array, canon.byte2iid, mode)
+
+    region_ace_cache: Dict[FrozenSet[int], IntervalSet] = {}
+
+    def region_outcome(n_bits: int, ids: FrozenSet[int]) -> IntervalSet:
+        ace = region_ace_cache.get(ids)
+        if ace is None:
+            ace = sweep_max_ref([isets[i] for i in ids]) if ids else IntervalSet()
+            region_ace_cache[ids] = ace
+        return classify_region(
+            scheme.react(n_bits), ace, miscorrect_corrupts=miscorrect_corrupts
+        )
+
+    outcome_cycles: Dict[Outcome, float] = {
+        Outcome.FALSE_DUE: 0.0,
+        Outcome.TRUE_DUE: 0.0,
+        Outcome.SDC: 0.0,
+    }
+    edges = series = None
+    if series_edges is not None:
+        edges = np.asarray(series_edges, dtype=np.int64)
+        series = np.zeros((len(edges) - 1, 4), dtype=np.float64)
+    for sig, weight in sigs.items():
+        combined = combine_outcomes_ref(
+            [region_outcome(n, ids) for n, ids in sig],
+            due_preempts_sdc=due_preempts_sdc,
+        )
+        if not combined:
+            continue
+        for s, e, c in combined:
+            outcome_cycles[Outcome(c)] += weight * (e - s)
+        if series is not None:
+            tmp = np.zeros_like(series)
+            bucket_accumulate_ref(combined, edges, tmp)
+            series += weight * tmp
+    return outcome_cycles, series

@@ -23,10 +23,11 @@ from ..arch.gpu import Apu
 from ..arch.liveness import analyze_liveness
 from ..obs import get_tracer
 from .avf import (
+    AvfConfig,
     MbAvfResult,
     StructureLifetimes,
     ace_locality,
-    compute_mb_avf,
+    compute_mb_avf_batch,
     merge_results,
 )
 from .faultmodes import FaultMode
@@ -179,6 +180,33 @@ class AvfStudy:
 
     # -- AVF measurements -------------------------------------------------------
 
+    def cache_avf_batch(
+        self,
+        level: str,
+        configs: Sequence[AvfConfig],
+        *,
+        style: Interleaving = Interleaving.NONE,
+        factor: int = 1,
+        domain_bytes: int = 4,
+    ) -> List[MbAvfResult]:
+        """MB-AVFs of a cache level for many engine configs in one pass.
+
+        All configs share one enumeration/classification cache per CU; the
+        per-CU results of each config are merged as in :meth:`cache_avf`.
+        """
+        layout = self._cache_layout(level, style, factor, domain_bytes)
+        if level == "l1":
+            lts = self.l1_lifetimes()
+        elif level == "l2":
+            lts = [self.l2_lifetime()]
+        else:
+            raise ValueError("level must be 'l1' or 'l2'")
+        per_lt = [compute_mb_avf_batch(layout, lt, configs) for lt in lts]
+        return [
+            merge_results([res[i] for res in per_lt])
+            for i in range(len(configs))
+        ]
+
     def cache_avf(
         self,
         level: str,
@@ -192,21 +220,29 @@ class AvfStudy:
         series_edges: Optional[Sequence[int]] = None,
     ) -> MbAvfResult:
         """MB-AVF of the L1 (merged over CUs) or L2 cache."""
-        layout = self._cache_layout(level, style, factor, domain_bytes)
-        if level == "l1":
-            lts = self.l1_lifetimes()
-        elif level == "l2":
-            lts = [self.l2_lifetime()]
-        else:
-            raise ValueError("level must be 'l1' or 'l2'")
-        results = [
-            compute_mb_avf(
-                layout, lt, mode, scheme,
-                due_preempts_sdc=due_preempts_sdc, series_edges=series_edges,
-            )
-            for lt in lts
-        ]
-        return merge_results(results)
+        cfg = AvfConfig(
+            mode=mode, scheme=scheme, due_preempts_sdc=due_preempts_sdc,
+            series_edges=tuple(series_edges) if series_edges is not None else None,
+        )
+        return self.cache_avf_batch(
+            level, [cfg], style=style, factor=factor, domain_bytes=domain_bytes,
+        )[0]
+
+    def vgpr_avf_batch(
+        self,
+        configs: Sequence[AvfConfig],
+        *,
+        style: Interleaving = Interleaving.INTRA_THREAD,
+        factor: int = 1,
+    ) -> List[MbAvfResult]:
+        """MB-AVFs of the stacked register file for many configs in one pass.
+
+        Configs are taken verbatim — apply the inter-thread
+        ``due_preempts_sdc`` default yourself if you build them by hand
+        (:meth:`vgpr_avf` does it for you).
+        """
+        layout, lifetimes = self._stacked_vgpr(style, factor)
+        return compute_mb_avf_batch(layout, lifetimes, configs)
 
     def vgpr_avf(
         self,
@@ -227,11 +263,11 @@ class AvfStudy:
         """
         if due_preempts_sdc is None:
             due_preempts_sdc = style is Interleaving.INTER_THREAD
-        layout, lifetimes = self._stacked_vgpr(style, factor)
-        return compute_mb_avf(
-            layout, lifetimes, mode, scheme,
-            due_preempts_sdc=due_preempts_sdc, series_edges=series_edges,
+        cfg = AvfConfig(
+            mode=mode, scheme=scheme, due_preempts_sdc=due_preempts_sdc,
+            series_edges=tuple(series_edges) if series_edges is not None else None,
         )
+        return self.vgpr_avf_batch([cfg], style=style, factor=factor)[0]
 
     def _stacked_vgpr(
         self, style: Interleaving, factor: int
@@ -271,6 +307,54 @@ class AvfStudy:
             self.apu.records, region, self.output_ranges, self.end_cycle
         )
 
+    def _tag_lifetimes(self, level: str, tag_bytes: int) -> List[StructureLifetimes]:
+        """Derived tag-array lifetimes, cached so repeated tag AVFs share
+        the engine's per-lifetimes canonical-id and region caches."""
+        key = ("tag-lts", level, tag_bytes)
+        if key not in self._layout_cache:
+            cfg = (
+                self.apu.memsys.l1s[0].config
+                if level == "l1" else self.apu.memsys.l2.config
+            )
+            if level == "l1":
+                data_lts = self.l1_lifetimes()
+            elif level == "l2":
+                data_lts = [self.l2_lifetime()]
+            else:
+                raise ValueError("level must be 'l1' or 'l2'")
+            self._layout_cache[key] = [
+                derive_tag_lifetimes(lt, cfg.line_bytes, tag_bytes=tag_bytes)
+                for lt in data_lts
+            ]
+        return self._layout_cache[key]
+
+    def tag_avf_batch(
+        self,
+        level: str,
+        configs: Sequence[AvfConfig],
+        *,
+        factor: int = 1,
+        tag_bytes: int = 3,
+    ) -> List[MbAvfResult]:
+        """MB-AVFs of a cache's tag array for many configs in one pass."""
+        cfg = (
+            self.apu.memsys.l1s[0].config
+            if level == "l1" else self.apu.memsys.l2.config
+        )
+        key = ("tags", level, factor, tag_bytes)
+        if key not in self._layout_cache:
+            self._layout_cache[key] = build_tag_array(
+                cfg.n_sets, cfg.n_ways, tag_bytes=tag_bytes, factor=factor,
+                name=f"{level}.tags",
+            )
+        layout = self._layout_cache[key]
+        tag_lts = self._tag_lifetimes(level, tag_bytes)
+        per_lt = [compute_mb_avf_batch(layout, lt, configs) for lt in tag_lts]
+        return [
+            merge_results([res[i] for res in per_lt])
+            for i in range(len(configs))
+        ]
+
     def tag_avf(
         self,
         level: str,
@@ -287,32 +371,13 @@ class AvfStudy:
         while its line holds live data.  ``factor`` interleaves adjacent
         ways' tags within a set's row.
         """
-        cfg = (
-            self.apu.memsys.l1s[0].config
-            if level == "l1" else self.apu.memsys.l2.config
+        cfg = AvfConfig(
+            mode=mode, scheme=scheme,
+            series_edges=tuple(series_edges) if series_edges is not None else None,
         )
-        key = ("tags", level, factor, tag_bytes)
-        if key not in self._layout_cache:
-            self._layout_cache[key] = build_tag_array(
-                cfg.n_sets, cfg.n_ways, tag_bytes=tag_bytes, factor=factor,
-                name=f"{level}.tags",
-            )
-        layout = self._layout_cache[key]
-        if level == "l1":
-            data_lts = self.l1_lifetimes()
-        elif level == "l2":
-            data_lts = [self.l2_lifetime()]
-        else:
-            raise ValueError("level must be 'l1' or 'l2'")
-        results = [
-            compute_mb_avf(
-                layout,
-                derive_tag_lifetimes(lt, cfg.line_bytes, tag_bytes=tag_bytes),
-                mode, scheme, series_edges=series_edges,
-            )
-            for lt in data_lts
-        ]
-        return merge_results(results)
+        return self.tag_avf_batch(
+            level, [cfg], factor=factor, tag_bytes=tag_bytes,
+        )[0]
 
     def cache_ace_locality(
         self, level: str, *, style: Interleaving = Interleaving.NONE,

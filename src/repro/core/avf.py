@@ -15,7 +15,29 @@ outcome intervals into DUE and SDC MB-AVF values (eq. 2, 4-7).
 
 Groups whose classification is identical — same per-region faulty-bit counts
 and same member lifetime content — are deduplicated, which makes the
-enumeration of the ~1e5 groups of a real cache array cheap.
+enumeration of the ~1e5 groups of a real cache array cheap.  Enumeration is
+fully vectorized: every mode geometry (contiguous Mx1 wordline faults and
+2-D ``HxW`` rectangles alike) runs through one 2-axis
+``sliding_window_view`` pass keyed by domain-relative ids, bucketed with a
+single lexsort.
+
+Cross-configuration reuse
+-------------------------
+A sweep evaluates dozens of (mode, scheme, interleaving) configurations
+over the *same* lifetimes, so the expensive intermediates are cached where
+they can be shared:
+
+* canonical lifetime ids are computed once per :class:`StructureLifetimes`
+  and cached on it,
+* fault-group signatures are memoized per ``(array, mode, lifetimes)``,
+* region ACE unions, region outcomes and combined signature outcomes are
+  cached on the lifetimes' canonical table, keyed by scheme, so every
+  config after the first reuses them.
+
+:func:`compute_mb_avf_batch` exposes this directly: hand it a list of
+:class:`AvfConfig` and it shares every cache across the whole batch; the
+single-config :func:`compute_mb_avf` is a thin wrapper.  Cache traffic is
+observable via the ``avf.batch_cache_hits`` counter.
 """
 
 from __future__ import annotations
@@ -27,14 +49,23 @@ import numpy as np
 
 from ..obs import get_metrics, get_tracer
 from .faultmodes import FaultMode
-from .intervals import AceClass, IntervalSet, Outcome, combine_outcomes, sweep_max
+from .intervals import (
+    AceClass,
+    IntervalSet,
+    Outcome,
+    combine_outcomes,
+    intersection_duration,
+    sweep_max,
+)
 from .layout import SramArray
 from .protection import ProtectionScheme, classify_region
 
 __all__ = [
     "StructureLifetimes",
+    "AvfConfig",
     "MbAvfResult",
     "compute_mb_avf",
+    "compute_mb_avf_batch",
     "compute_sb_avf",
     "merge_results",
     "ace_locality",
@@ -50,6 +81,10 @@ class StructureLifetimes:
     ``i`` (all 8 bits of a byte share one classification; bit-level liveness
     refinements are already folded in by the lifetime builder).  The analysis
     window is ``[start_cycle, end_cycle)``; intervals must lie inside it.
+
+    The engine caches derived state (canonical lifetime ids, region
+    classifications) on the instance, so ``byte_isets`` must not be mutated
+    after the first AVF computation.
     """
 
     name: str
@@ -65,6 +100,21 @@ class StructureLifetimes:
         """Plain single-bit AVF with no protection (fraction of ACE bit-cycles)."""
         total = sum(s.total(int(AceClass.ACE)) for s in self.byte_isets)
         return total / (len(self.byte_isets) * self.window_cycles)
+
+
+@dataclass(frozen=True)
+class AvfConfig:
+    """One (fault mode, protection scheme) engine configuration.
+
+    ``series_edges`` must be a tuple (the config is hashable so batches can
+    deduplicate); :func:`compute_mb_avf` converts sequences for you.
+    """
+
+    mode: FaultMode
+    scheme: ProtectionScheme
+    due_preempts_sdc: bool = False
+    miscorrect_corrupts: bool = False
+    series_edges: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
@@ -142,22 +192,60 @@ class MbAvfResult:
         raise ValueError(f"unknown reduction {reduce!r}")
 
 
-def _canonical_iset_ids(
-    lifetimes: StructureLifetimes,
-) -> Tuple[np.ndarray, List[IntervalSet]]:
-    """Map byte ids to canonical interval-set ids (0 = empty set)."""
-    table: Dict[Tuple, int] = {(): 0}
+class _CanonicalIds:
+    """Canonical lifetime-id table plus the per-lifetimes engine caches.
+
+    ``byte2iid`` maps byte ids to canonical interval-set ids (0 = the empty
+    set); ``isets[iid]`` is the representative set.  The region/signature
+    caches live here because their keys only make sense relative to this id
+    table; batches and repeated single computations share them.
+    """
+
+    __slots__ = ("byte2iid", "isets", "region_ace", "region_out", "combined")
+
+    def __init__(self, byte2iid: np.ndarray, isets: List[IntervalSet]) -> None:
+        self.byte2iid = byte2iid
+        self.isets = isets
+        #: frozenset[iid] -> swept ACE union of the member lifetimes
+        self.region_ace: Dict[FrozenSet[int], IntervalSet] = {}
+        #: (scheme, miscorrect, n_bits, ids) -> classified region outcome
+        self.region_out: Dict[Tuple, IntervalSet] = {}
+        #: (scheme, miscorrect, due_preempts, sig) -> combined group outcome
+        self.combined: Dict[Tuple, IntervalSet] = {}
+
+
+def _canonical_iset_ids(lifetimes: StructureLifetimes) -> _CanonicalIds:
+    """Canonical lifetime ids for ``lifetimes``, computed once and cached.
+
+    Bytes whose interval sets are byte-for-byte equal share one id, so all
+    downstream caches collapse identical lifetimes.  Deduplication is by
+    object identity first (stacked structures reuse set objects), then by
+    the sets' canonical array encoding.
+    """
+    canon = getattr(lifetimes, "_canon_cache", None)
+    if canon is not None:
+        metrics = get_metrics()
+        if metrics:
+            metrics.counter("avf.batch_cache_hits").inc()
+        return canon
+    table: Dict[bytes, int] = {b"": 0}
+    by_obj: Dict[int, int] = {}
     unique: List[IntervalSet] = [IntervalSet()]
     byte2iid = np.zeros(len(lifetimes.byte_isets), dtype=np.int32)
     for b, iset in enumerate(lifetimes.byte_isets):
-        key = tuple(iset)
-        iid = table.get(key)
+        iid = by_obj.get(id(iset))
         if iid is None:
-            iid = len(unique)
-            table[key] = iid
-            unique.append(iset)
+            key = iset._key()
+            iid = table.get(key)
+            if iid is None:
+                iid = len(unique)
+                table[key] = iid
+                unique.append(iset)
+            by_obj[id(iset)] = iid
         byte2iid[b] = iid
-    return byte2iid, unique
+    canon = _CanonicalIds(byte2iid, unique)
+    lifetimes._canon_cache = canon
+    return canon
 
 
 GroupSignature = Tuple[Tuple[int, FrozenSet[int]], ...]
@@ -165,6 +253,8 @@ GroupSignature = Tuple[Tuple[int, FrozenSet[int]], ...]
 
 def _unique_rows(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """(unique rows, counts) via lexsort — much faster than unique(axis=0)."""
+    if not len(a):
+        return a[:0], np.zeros(0, dtype=np.int64)
     order = np.lexsort(a.T[::-1])
     b = a[order]
     change = np.empty(len(b), dtype=bool)
@@ -175,49 +265,24 @@ def _unique_rows(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return b[starts], counts
 
 
-def _enumerate_linear_signatures(
-    array: SramArray, byte2iid: np.ndarray, m: int
+def _sigs_from_keys(
+    uniq: np.ndarray, counts: np.ndarray, k: int
 ) -> Dict[GroupSignature, int]:
-    """Vectorized fault-group signature counting for contiguous Mx1 modes.
-
-    Every window of ``m`` adjacent bits in a row is keyed by the vector of
-    (domain id relative to the window's first bit's domain, lifetime id) per
-    position.  Equal keys imply an identical domain-equality pattern and
-    identical member lifetimes, hence an identical classification; windows
-    are bucketed with one ``np.unique`` over all rows at once.
-    """
-    from numpy.lib.stride_tricks import sliding_window_view
-
-    iid_of = byte2iid[array.byte_of]
-    dom_win = sliding_window_view(array.domain_of, m, axis=1)
-    iid_win = sliding_window_view(iid_of, m, axis=1)
-    n_win = dom_win.shape[0] * dom_win.shape[1]
-    iid_flat = iid_win.reshape(n_win, m)
-    # Windows whose members are all lifetime-empty classify to nothing; drop
-    # them up front (they still count in the denominator via n_groups).
-    active = iid_flat.any(axis=1)
-    if not active.any():
-        return {}
-    dom_flat = dom_win.reshape(n_win, m)[active]
-    keys = np.empty((len(dom_flat), 2 * m), dtype=np.int32)
-    keys[:, :m] = dom_flat - dom_flat[:, :1]
-    keys[:, m:] = iid_flat[active]
-    uniq, counts = _unique_rows(keys)
+    """Region signatures from deduplicated (relative domain, iid) keys."""
     sigs: Dict[GroupSignature, int] = {}
-    for key, cnt in zip(uniq, counts):
-        regions: Dict[int, Tuple[int, set]] = {}
-        for pos in range(m):
-            d = int(key[pos])
-            iid = int(key[m + pos])
-            if d in regions:
-                n, ids = regions[d]
-                if iid:
-                    ids.add(iid)
-                regions[d] = (n + 1, ids)
-            else:
-                regions[d] = (1, {iid} if iid else set())
+    for key, cnt in zip(uniq.tolist(), counts.tolist()):
+        regions: Dict[int, List] = {}
+        for pos in range(k):
+            d = key[pos]
+            iid = key[k + pos]
+            ent = regions.get(d)
+            if ent is None:
+                regions[d] = ent = [0, set()]
+            ent[0] += 1
+            if iid:
+                ent[1].add(iid)
         sig = tuple(sorted((n, frozenset(ids)) for n, ids in regions.values()))
-        sigs[sig] = sigs.get(sig, 0) + int(cnt)
+        sigs[sig] = sigs.get(sig, 0) + cnt
     return sigs
 
 
@@ -229,55 +294,182 @@ def _enumerate_signatures(
     A signature is the multiset of the group's overlapped regions, each
     region being ``(n_faulty_bits, frozenset of member lifetime ids)``.  Two
     groups with equal signatures have identical AVF classification.
+
+    All mode geometries share one vectorized path: every ``HxW`` placement
+    becomes a row of a 2-axis :func:`sliding_window_view`, restricted to the
+    mode's offsets, keyed by the vector of (domain id relative to the first
+    offset's domain, lifetime id) per position — equal keys imply an
+    identical domain-equality pattern and identical member lifetimes, hence
+    an identical classification — and bucketed with one lexsort.  Windows
+    whose members are all lifetime-empty classify to nothing and are dropped
+    up front (they still count in the denominator via ``n_groups``).
     """
+    from numpy.lib.stride_tricks import sliding_window_view
+
     h, w = mode.height, mode.width
-    rows, cols = array.rows, array.cols
-    if h > rows or w > cols:
+    if h > array.rows or w > array.cols:
         return {}
-    if mode.is_linear():
-        return _enumerate_linear_signatures(array, byte2iid, mode.n_bits)
-    iid_of = byte2iid[array.byte_of]  # (rows, cols) canonical lifetime ids
-    dom_of = array.domain_of
-    sigs: Dict[GroupSignature, int] = {}
-    offsets = mode.offsets
-    empty_sig: Optional[GroupSignature] = None
-    for r0 in range(rows - h + 1):
-        # Fast path: a window of rows with no non-empty lifetimes yields the
-        # all-unACE signature for every column placement.
-        window_iids = iid_of[r0 : r0 + h]
-        if not window_iids.any():
-            if empty_sig is None:
-                dom_row = dom_of[r0 : r0 + h]
-                counts: Dict[int, int] = {}
-                for dr, dc in offsets:
-                    d = int(dom_row[dr, dc])
-                    counts[d] = counts.get(d, 0) + 1
-                empty_sig = tuple(sorted((n, frozenset()) for n in counts.values()))
-            # Column placements can differ in how many domains they straddle,
-            # but with empty lifetimes every region is unACE regardless, so
-            # only the region *count* pattern could matter — and it cannot
-            # change the (empty) outcome.  Lump them together.
-            sigs[empty_sig] = sigs.get(empty_sig, 0) + (cols - w + 1)
-            continue
-        dom_rows = [list(map(int, dom_of[r0 + dr])) for dr in range(h)]
-        iid_rows = [list(map(int, window_iids[dr])) for dr in range(h)]
-        for c0 in range(cols - w + 1):
-            regions: Dict[int, Tuple[int, set]] = {}
-            for dr, dc in offsets:
-                d = dom_rows[dr][c0 + dc]
-                iid = iid_rows[dr][c0 + dc]
-                if d in regions:
-                    n, ids = regions[d]
-                    if iid:
-                        ids.add(iid)
-                    regions[d] = (n + 1, ids)
-                else:
-                    regions[d] = (1, {iid} if iid else set())
-            sig = tuple(
-                sorted((n, frozenset(ids)) for n, ids in regions.values())
-            )
-            sigs[sig] = sigs.get(sig, 0) + 1
+    k = mode.n_bits
+    iid_of = byte2iid[array.byte_of]
+    dom_win = sliding_window_view(array.domain_of, (h, w))
+    iid_win = sliding_window_view(iid_of, (h, w))
+    n_win = dom_win.shape[0] * dom_win.shape[1]
+    sel = np.fromiter(
+        (r * w + c for r, c in mode.offsets), dtype=np.intp, count=k
+    )
+    iid_flat = iid_win.reshape(n_win, h * w)[:, sel]
+    active = iid_flat.any(axis=1)
+    if not active.any():
+        return {}
+    dom_flat = dom_win.reshape(n_win, h * w)[:, sel][active]
+    keys = np.empty((len(dom_flat), 2 * k), dtype=np.int32)
+    keys[:, :k] = dom_flat - dom_flat[:, :1]
+    keys[:, k:] = iid_flat[active]
+    uniq, counts = _unique_rows(keys)
+    return _sigs_from_keys(uniq, counts, k)
+
+
+def _signatures_for(
+    array: SramArray,
+    canon: _CanonicalIds,
+    mode: FaultMode,
+    lifetimes: StructureLifetimes,
+) -> Dict[GroupSignature, int]:
+    """Enumeration memo: signatures per (array, mode, canonical lifetimes)."""
+    memo = getattr(array, "_sig_memo", None)
+    if memo is None:
+        memo = array._sig_memo = {}
+    key = (mode, canon)
+    sigs = memo.get(key)
+    metrics = get_metrics()
+    if sigs is not None:
+        if metrics:
+            metrics.counter("avf.batch_cache_hits").inc()
+        return sigs
+    with get_tracer().span(
+        "enumerate", structure=lifetimes.name, mode=mode.name
+    ) as span:
+        sigs = _enumerate_signatures(array, canon.byte2iid, mode)
+        span.set(signatures=len(sigs))
+    memo[key] = sigs
     return sigs
+
+
+def compute_mb_avf_batch(
+    array: SramArray,
+    lifetimes: StructureLifetimes,
+    configs: Sequence[AvfConfig],
+) -> List[MbAvfResult]:
+    """Compute MB-AVFs for many engine configurations in one pass.
+
+    Canonical lifetime ids are resolved once; fault-group enumeration is
+    memoized per mode; region ACE unions, region classifications and
+    combined signature outcomes are shared across every config (keyed by
+    scheme where they depend on it).  Use this instead of looping over
+    :func:`compute_mb_avf` whenever several (mode, scheme) pairs are
+    evaluated on the same structure — sweeps, design-space studies, the
+    perf benches.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
+    results: List[MbAvfResult] = []
+    with tracer.span(
+        "batch", structure=lifetimes.name, configs=len(configs)
+    ):
+        canon = _canonical_iset_ids(lifetimes)
+        isets = canon.isets
+        region_ace = canon.region_ace
+        region_out = canon.region_out
+        combined_cache = canon.combined
+        for cfg in configs:
+            mode, scheme = cfg.mode, cfg.scheme
+            sigs = _signatures_for(array, canon, mode, lifetimes)
+            n_groups = array.n_groups(mode.height, mode.width)
+            if metrics:
+                # The dedup hit-rate is 1 - signatures/groups: every group
+                # beyond its signature's first is classified for free.
+                metrics.counter("avf.computations").inc()
+                metrics.counter("avf.groups_enumerated").inc(n_groups)
+                metrics.counter("avf.unique_signatures").inc(len(sigs))
+
+            out_key = (scheme, cfg.miscorrect_corrupts)
+            comb_key = out_key + (cfg.due_preempts_sdc,)
+
+            def region_outcome(n_bits: int, ids: FrozenSet[int]) -> IntervalSet:
+                key = out_key + (n_bits, ids)
+                cached = region_out.get(key)
+                if cached is not None:
+                    return cached
+                ace = region_ace.get(ids)
+                if ace is None:
+                    ace = sweep_max([isets[i] for i in ids]) if ids else IntervalSet()
+                    region_ace[ids] = ace
+                out = classify_region(
+                    scheme.react(n_bits),
+                    ace,
+                    miscorrect_corrupts=cfg.miscorrect_corrupts,
+                )
+                region_out[key] = out
+                return out
+
+            n_cached = len(region_out)
+            with tracer.span(
+                "classify", signatures=len(sigs), scheme=scheme.name
+            ):
+                combined_by_sig: Dict[GroupSignature, IntervalSet] = {}
+                for sig in sigs:
+                    cached = combined_cache.get(comb_key + (sig,))
+                    if cached is None:
+                        cached = combine_outcomes(
+                            [region_outcome(n, ids) for n, ids in sig],
+                            due_preempts_sdc=cfg.due_preempts_sdc,
+                        )
+                        combined_cache[comb_key + (sig,)] = cached
+                    elif metrics:
+                        metrics.counter("avf.batch_cache_hits").inc()
+                    combined_by_sig[sig] = cached
+            if metrics:
+                metrics.counter("avf.regions_classified").inc(
+                    len(region_out) - n_cached
+                )
+
+            outcome_cycles: Dict[Outcome, float] = {
+                Outcome.FALSE_DUE: 0.0,
+                Outcome.TRUE_DUE: 0.0,
+                Outcome.SDC: 0.0,
+            }
+            edges = None
+            series = None
+            tmp = None
+            if cfg.series_edges is not None:
+                edges = np.asarray(cfg.series_edges, dtype=np.int64)
+                series = np.zeros((len(edges) - 1, 4), dtype=np.float64)
+                tmp = np.zeros_like(series)
+            with tracer.span("integrate", signatures=len(sigs)):
+                for sig, weight in sigs.items():
+                    combined = combined_by_sig[sig]
+                    if not combined:
+                        continue
+                    for s, e, c in combined:
+                        outcome_cycles[Outcome(c)] += weight * (e - s)
+                    if series is not None:
+                        tmp.fill(0.0)
+                        combined.bucket_accumulate(edges, tmp)
+                        series += weight * tmp
+
+            results.append(
+                MbAvfResult(
+                    structure=lifetimes.name,
+                    mode=mode,
+                    scheme=scheme.name,
+                    n_groups=n_groups,
+                    window_cycles=lifetimes.window_cycles,
+                    outcome_cycles=outcome_cycles,
+                    series_edges=edges,
+                    series=series,
+                )
+            )
+    return results
 
 
 def compute_mb_avf(
@@ -298,85 +490,18 @@ def compute_mb_avf(
 
     ``series_edges`` optionally requests an AVF-over-time series with the
     given bucket boundaries (used for the paper's phase plots, Fig. 5/8).
+
+    Repeated calls on the same ``(array, lifetimes)`` reuse the cached
+    enumeration and classifications; see :func:`compute_mb_avf_batch`.
     """
-    tracer = get_tracer()
-    metrics = get_metrics()
-    with tracer.span(
-        "enumerate",
-        structure=lifetimes.name, mode=mode.name, scheme=scheme.name,
-    ) as enum_span:
-        byte2iid, isets = _canonical_iset_ids(lifetimes)
-        sigs = _enumerate_signatures(array, byte2iid, mode)
-    n_groups = array.n_groups(mode.height, mode.width)
-    enum_span.set(groups=n_groups, signatures=len(sigs))
-    if metrics:
-        # The dedup hit-rate is 1 - signatures/groups: every group beyond
-        # its signature's first is classified for free.
-        metrics.counter("avf.computations").inc()
-        metrics.counter("avf.groups_enumerated").inc(n_groups)
-        metrics.counter("avf.unique_signatures").inc(len(sigs))
-
-    region_ace_cache: Dict[FrozenSet[int], IntervalSet] = {}
-    region_out_cache: Dict[Tuple[int, FrozenSet[int]], IntervalSet] = {}
-
-    def region_outcome(n_bits: int, ids: FrozenSet[int]) -> IntervalSet:
-        key = (n_bits, ids)
-        cached = region_out_cache.get(key)
-        if cached is not None:
-            return cached
-        ace = region_ace_cache.get(ids)
-        if ace is None:
-            ace = sweep_max([isets[i] for i in ids]) if ids else IntervalSet()
-            region_ace_cache[ids] = ace
-        out = classify_region(
-            scheme.react(n_bits), ace, miscorrect_corrupts=miscorrect_corrupts
-        )
-        region_out_cache[key] = out
-        return out
-
-    outcome_cycles: Dict[Outcome, float] = {
-        Outcome.FALSE_DUE: 0.0,
-        Outcome.TRUE_DUE: 0.0,
-        Outcome.SDC: 0.0,
-    }
-    edges = None
-    series = None
-    if series_edges is not None:
-        edges = np.asarray(series_edges, dtype=np.int64)
-        series = np.zeros((len(edges) - 1, 4), dtype=np.float64)
-
-    with tracer.span("classify", signatures=len(sigs)):
-        combined_by_sig: Dict[GroupSignature, IntervalSet] = {
-            sig: combine_outcomes(
-                [region_outcome(n, ids) for n, ids in sig],
-                due_preempts_sdc=due_preempts_sdc,
-            )
-            for sig in sigs
-        }
-    if metrics:
-        metrics.counter("avf.regions_classified").inc(len(region_out_cache))
-    with tracer.span("integrate", signatures=len(sigs)):
-        for sig, weight in sigs.items():
-            combined = combined_by_sig[sig]
-            if not combined:
-                continue
-            for s, e, c in combined:
-                outcome_cycles[Outcome(c)] += weight * (e - s)
-            if series is not None:
-                tmp = np.zeros_like(series)
-                combined.bucket_accumulate(edges, tmp)
-                series += weight * tmp
-
-    return MbAvfResult(
-        structure=lifetimes.name,
+    cfg = AvfConfig(
         mode=mode,
-        scheme=scheme.name,
-        n_groups=n_groups,
-        window_cycles=lifetimes.window_cycles,
-        outcome_cycles=outcome_cycles,
-        series_edges=edges,
-        series=series,
+        scheme=scheme,
+        due_preempts_sdc=due_preempts_sdc,
+        miscorrect_corrupts=miscorrect_corrupts,
+        series_edges=tuple(series_edges) if series_edges is not None else None,
     )
+    return compute_mb_avf_batch(array, lifetimes, [cfg])[0]
 
 
 def compute_sb_avf(
@@ -428,24 +553,6 @@ def merge_results(results: Sequence[MbAvfResult]) -> MbAvfResult:
     )
 
 
-def intersection_duration(a: IntervalSet, b: IntervalSet, klass: int) -> int:
-    """Cycles during which *both* sets are in class >= ``klass``."""
-    ivals_a = [(s, e) for s, e, c in a if c >= klass]
-    ivals_b = [(s, e) for s, e, c in b if c >= klass]
-    total = 0
-    i = j = 0
-    while i < len(ivals_a) and j < len(ivals_b):
-        s = max(ivals_a[i][0], ivals_b[j][0])
-        e = min(ivals_a[i][1], ivals_b[j][1])
-        if s < e:
-            total += e - s
-        if ivals_a[i][1] < ivals_b[j][1]:
-            i += 1
-        else:
-            j += 1
-    return total
-
-
 def ace_locality(array: SramArray, lifetimes: StructureLifetimes) -> float:
     """ACE locality: tendency of physically adjacent bits to be ACE together.
 
@@ -458,23 +565,32 @@ def ace_locality(array: SramArray, lifetimes: StructureLifetimes) -> float:
     of a fault covering them collapses to the SB-AVF); 0.0 means ACE time
     never overlaps (MB-AVF approaches M times SB-AVF).  Structures with high
     ACE locality have lower MB-AVF (Sec. VI-B).
+
+    All adjacent pairs of the whole array are bucketed with one lexsort
+    (instead of one ``np.unique`` per row); the Jaccard terms are then
+    evaluated once per distinct (lifetime id, lifetime id) pair.
     """
-    byte2iid, isets = _canonical_iset_ids(lifetimes)
-    iid_of = byte2iid[array.byte_of]
-    pair_counts: Dict[Tuple[int, int], int] = {}
-    for r in range(array.rows):
-        row = iid_of[r]
-        left, right = row[:-1], row[1:]
-        keys = np.stack([left, right], axis=1)
-        uniq, counts = np.unique(keys, axis=0, return_counts=True)
-        for (a, b), n in zip(uniq, counts):
-            pair_counts[(int(a), int(b))] = pair_counts.get((int(a), int(b)), 0) + int(n)
+    canon = _canonical_iset_ids(lifetimes)
+    isets = canon.isets
+    iid_of = canon.byte2iid[array.byte_of]
+    pairs = np.stack(
+        [iid_of[:, :-1].ravel(), iid_of[:, 1:].ravel()], axis=1
+    )
+    uniq, counts = _unique_rows(pairs)
     inter = 0.0
     union = 0.0
     ace = int(AceClass.ACE)
-    for (ia, ib), n in pair_counts.items():
-        da = isets[ia].total_at_least(ace) if ia else 0
-        db = isets[ib].total_at_least(ace) if ib else 0
+    dur_cache: Dict[int, int] = {}
+
+    def dur(i: int) -> int:
+        d = dur_cache.get(i)
+        if d is None:
+            d = dur_cache[i] = isets[i].total_at_least(ace) if i else 0
+        return d
+
+    for (ia, ib), n in zip(uniq.tolist(), counts.tolist()):
+        da = dur(ia)
+        db = dur(ib)
         if da == 0 and db == 0:
             continue
         ov = intersection_duration(isets[ia], isets[ib], ace) if ia and ib else 0

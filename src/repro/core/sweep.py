@@ -18,7 +18,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .analysis import AvfStudy
-from .avf import MbAvfResult
+from .avf import AvfConfig, MbAvfResult
 from .faultmodes import FaultMode
 from .layout import Interleaving
 from .protection import ProtectionScheme
@@ -61,15 +61,32 @@ def _scheme_label(scheme: ProtectionScheme) -> str:
     return getattr(scheme, "name", type(scheme).__name__.lower())
 
 
-def _run_grid(structure, cells, measure, executor) -> List[SweepPoint]:
+def _run_grid(
+    structure, cells, measure, executor, measure_batch=None
+) -> List[SweepPoint]:
     """Evaluate grid cells directly, or as journaled runtime tasks.
 
     ``cells`` is a list of ``(cell_id, (style, factor, scheme, mode))``.
-    With an executor, each cell returns the point as a JSON-safe dict (so
-    journaled sweeps reload exactly); failed cells are warned about and
-    dropped — the sweep degrades instead of dying.
+    The direct path groups cells sharing a physical layout and hands each
+    group to ``measure_batch(style, factor, pairs)`` (one engine batch per
+    layout, so enumeration and region caches are shared across the group's
+    schemes and modes); with an executor, each cell is instead a journaled
+    task returning the point as a JSON-safe dict (so journaled sweeps
+    reload exactly) and failed cells are warned about and dropped — the
+    sweep degrades instead of dying.
     """
     if executor is None:
+        if measure_batch is not None:
+            groups: Dict[Tuple, List[Tuple]] = {}
+            for _, (style, factor, scheme, mode) in cells:
+                groups.setdefault((style, factor), []).append((scheme, mode))
+            points: List[SweepPoint] = []
+            for (style, factor), pairs in groups.items():
+                for res in measure_batch(style, factor, pairs):
+                    points.append(
+                        SweepPoint.from_result(structure, style, factor, res)
+                    )
+            return points
         return [
             SweepPoint.from_result(
                 structure, style, factor, measure(style, factor, scheme, mode)
@@ -145,9 +162,16 @@ def sweep_cache_avf(
             style=style, factor=factor, domain_bytes=domain_bytes,
         )
 
+    def measure_batch(style, factor, pairs):
+        configs = [AvfConfig(mode=m, scheme=s) for s, m in pairs]
+        return study.cache_avf_batch(
+            level, configs,
+            style=style, factor=factor, domain_bytes=domain_bytes,
+        )
+
     return _run_grid(
         level, _grid(level, list(modes), list(schemes), list(layouts)),
-        measure, executor,
+        measure, executor, measure_batch,
     )
 
 
@@ -166,9 +190,17 @@ def sweep_vgpr_avf(
     def measure(style, factor, scheme, mode):
         return study.vgpr_avf(mode, scheme, style=style, factor=factor)
 
+    def measure_batch(style, factor, pairs):
+        due = style is Interleaving.INTER_THREAD
+        configs = [
+            AvfConfig(mode=m, scheme=s, due_preempts_sdc=due)
+            for s, m in pairs
+        ]
+        return study.vgpr_avf_batch(configs, style=style, factor=factor)
+
     return _run_grid(
         "vgpr", _grid("vgpr", list(modes), list(schemes), list(layouts)),
-        measure, executor,
+        measure, executor, measure_batch,
     )
 
 

@@ -76,7 +76,12 @@ def _init_grid_worker() -> None:
 
 
 def _grid_task(payload) -> List[dict]:
-    """Measure one benchmark's whole (mode, scheme, layout) grid."""
+    """Measure one benchmark's whole (mode, scheme, layout) grid.
+
+    The sweep runs the engine's batch path: every (mode, scheme) cell of a
+    layout shares one enumeration and one region-classification cache, so
+    the grid costs little more than its most expensive cell.
+    """
     name, structure, modes, schemes, layouts = payload
     study = _GRID_STUDIES(name)
     if structure == "vgpr":

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Condense pytest-benchmark JSON into the repo's BENCH_engine.json form.
+
+pytest-benchmark's ``--benchmark-json`` output is large and machine-coupled;
+the perf trajectory only needs per-bench min/mean seconds.  This tool
+extracts them::
+
+    python tools/bench_report.py run.json -o BENCH_engine.json
+
+With ``--before`` it emits a before/after comparison (plus speedup ratios
+computed on the min, the noise-robust statistic)::
+
+    python tools/bench_report.py after.json --before before.json -o BENCH_engine.json
+
+The output shape is stable::
+
+    {"benches": {name: {"min": s, "mean": s}}}                      # single
+    {"before": {...}, "after": {...}, "speedup_min": {name: x}}     # compared
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def condense(path: str) -> Dict[str, Dict[str, float]]:
+    """Per-bench {min, mean} seconds from a pytest-benchmark JSON file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return {
+        b["name"]: {
+            "min": b["stats"]["min"],
+            "mean": b["stats"]["mean"],
+        }
+        for b in data["benchmarks"]
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("after", help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--before", default=None,
+        help="optional baseline pytest-benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="write here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    after = condense(args.after)
+    if args.before is None:
+        payload = {"benches": after}
+    else:
+        before = condense(args.before)
+        payload = {
+            "before": before,
+            "after": after,
+            "speedup_min": {
+                name: round(before[name]["min"] / stats["min"], 2)
+                for name, stats in after.items()
+                if name in before and stats["min"] > 0
+            },
+        }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
