@@ -357,6 +357,13 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the invariant linter (see docs/static-analysis.md)."""
+    from .staticcheck.cli import lint_command
+
+    return lint_command(args)
+
+
 def _add_common(sub) -> None:
     sub.add_argument("workload", choices=names())
     sub.add_argument("--seed", type=int, default=0)
@@ -500,6 +507,16 @@ def main(argv: Optional[List[str]] = None) -> int:
              "instead of the human-readable report",
     )
 
+    p_lint = subs.add_parser(
+        "lint",
+        help="AST invariant linter: determinism, numpy hygiene, "
+             "fork/atomic-IO safety, obs discipline",
+    )
+    from .staticcheck.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    _add_obs_args(p_lint)
+
     args = parser.parse_args(argv)
     # Validate export paths up front: a campaign must not run for an hour
     # and then lose its trace to a typo'd directory.
@@ -545,6 +562,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "mttf": _cmd_mttf,
         "stats": _cmd_stats,
+        "lint": _cmd_lint,
     }
     handler = handlers[args.command]
     trace = getattr(args, "trace", None)
@@ -555,7 +573,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # was asked for, so the plain paths keep their no-op
         # instrumentation.
         if trace or metrics or args.command in ("inject", "campaign",
-                                                "stats"):
+                                                "stats", "lint"):
             with obs.observe(trace=trace, metrics=metrics):
                 return handler(args)
         return handler(args)

@@ -91,6 +91,10 @@ class StructureLifetimes:
     byte_isets: Sequence[IntervalSet]
     start_cycle: int
     end_cycle: int
+    #: engine cache, filled by _canonical_iset_ids on first AVF computation
+    _canon_cache: Optional["_CanonicalIds"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def window_cycles(self) -> int:
@@ -165,7 +169,7 @@ class MbAvfResult:
         """Per-bucket AVF time series for one outcome class."""
         if self.series is None or self.series_edges is None:
             raise ValueError("result was computed without a time series")
-        widths = np.diff(self.series_edges).astype(float)
+        widths = np.diff(self.series_edges).astype(np.float64, copy=False)
         denom = widths * self.n_groups
         with np.errstate(divide="ignore", invalid="ignore"):
             out = np.where(denom > 0, self.series[:, int(outcome)] / denom, 0.0)
@@ -222,7 +226,7 @@ def _canonical_iset_ids(lifetimes: StructureLifetimes) -> _CanonicalIds:
     object identity first (stacked structures reuse set objects), then by
     the sets' canonical array encoding.
     """
-    canon = getattr(lifetimes, "_canon_cache", None)
+    canon = lifetimes._canon_cache
     if canon is not None:
         metrics = get_metrics()
         if metrics:
@@ -233,7 +237,10 @@ def _canonical_iset_ids(lifetimes: StructureLifetimes) -> _CanonicalIds:
     unique: List[IntervalSet] = [IntervalSet()]
     byte2iid = np.zeros(len(lifetimes.byte_isets), dtype=np.int32)
     for b, iset in enumerate(lifetimes.byte_isets):
-        iid = by_obj.get(id(iset))
+        # id()-keyed interning is safe here: by_obj never outlives this
+        # pass and every keyed object stays alive in lifetimes.byte_isets,
+        # so ids cannot be recycled; ordering never depends on the ids.
+        iid = by_obj.get(id(iset))  # staticcheck: ignore[D104]
         if iid is None:
             key = iset._key()
             iid = table.get(key)
@@ -241,7 +248,7 @@ def _canonical_iset_ids(lifetimes: StructureLifetimes) -> _CanonicalIds:
                 iid = len(unique)
                 table[key] = iid
                 unique.append(iset)
-            by_obj[id(iset)] = iid
+            by_obj[id(iset)] = iid  # staticcheck: ignore[D104]
         byte2iid[b] = iid
     canon = _CanonicalIds(byte2iid, unique)
     lifetimes._canon_cache = canon
@@ -336,7 +343,7 @@ def _signatures_for(
     lifetimes: StructureLifetimes,
 ) -> Dict[GroupSignature, int]:
     """Enumeration memo: signatures per (array, mode, canonical lifetimes)."""
-    memo = getattr(array, "_sig_memo", None)
+    memo = array._sig_memo
     if memo is None:
         memo = array._sig_memo = {}
     key = (mode, canon)

@@ -288,7 +288,7 @@ class IntervalSet:
             return out
         return (
             np.bincount(c, weights=(e - s), minlength=nclasses)
-            .astype(np.int64)
+            .astype(np.int64, copy=False)
             .tolist()
         )
 

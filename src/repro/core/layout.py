@@ -23,9 +23,9 @@ A :class:`SramArray` materialises the layout as two dense (rows x cols) maps:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -65,6 +65,11 @@ class SramArray:
     domain_bytes: int
     interleave_factor: int
     style: Interleaving
+    #: AVF-engine enumeration memo, keyed (mode, canonical lifetime ids);
+    #: populated lazily by core.avf._signatures_for
+    _sig_memo: Optional[Dict[Any, Any]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.byte_of.shape != self.domain_of.shape:

@@ -18,6 +18,7 @@ from typing import Dict, List, Union
 
 import numpy as np
 
+from ..ioutil import atomic_write
 from .avf import MbAvfResult, StructureLifetimes
 from .faultmodes import FaultMode
 from .intervals import IntervalSet, Outcome
@@ -55,14 +56,17 @@ def save_lifetimes(lifetimes: StructureLifetimes, path: PathLike) -> None:
             ends[k] = e_
             classes[k] = c_
             k += 1
-    np.savez_compressed(
+    atomic_write(
         Path(path),
-        name=np.array(lifetimes.name),
-        window=np.array([lifetimes.start_cycle, lifetimes.end_cycle]),
-        offsets=offsets,
-        starts=starts,
-        ends=ends,
-        classes=classes,
+        lambda fh: np.savez_compressed(
+            fh,
+            name=np.array(lifetimes.name),
+            window=np.array([lifetimes.start_cycle, lifetimes.end_cycle]),
+            offsets=offsets,
+            starts=starts,
+            ends=ends,
+            classes=classes,
+        ),
     )
 
 
@@ -137,7 +141,7 @@ def result_from_dict(data: Dict) -> MbAvfResult:
 def save_results(results: Dict[str, MbAvfResult], path: PathLike) -> None:
     """Archive a keyed collection of results as JSON."""
     payload = {key: result_to_dict(r) for key, r in results.items()}
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    atomic_write(Path(path), json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_results(path: PathLike) -> Dict[str, MbAvfResult]:

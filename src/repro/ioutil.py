@@ -1,0 +1,83 @@
+"""Crash-safe filesystem helpers shared across the package.
+
+:func:`atomic_write` is the one blessed way to replace a whole file:
+write to a same-directory temp file, flush + fsync it, ``os.replace``
+onto the destination, then fsync the directory so the rename itself is
+durable.  A reader (or a resumed campaign) therefore sees either the
+complete old file or the complete new one — never a torn hybrid.
+
+The pattern originated in ``runtime.Journal.compact()`` and is enforced
+everywhere by the ``F302`` staticcheck rule.  This module sits at
+package level (stdlib-only imports) so both ``repro.obs`` and
+``repro.runtime`` can use it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Union
+
+__all__ = ["atomic_write", "fsync_dir"]
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """fsync a directory so a rename within it is durable.
+
+    Best-effort: some filesystems (and all of Windows) refuse directory
+    fds; losing directory durability there only weakens the guarantee
+    back to what a plain rename gives.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, Path],
+    data: Union[str, bytes, Callable[..., None]],
+    *,
+    encoding: str = "utf-8",
+) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    ``data`` may be ``str`` (written with ``encoding``), ``bytes``, or a
+    callable taking the open binary file object — the callable form lets
+    writers that need a file handle (``np.savez_compressed``, json.dump
+    streaming) participate in the same tmp + fsync + rename dance::
+
+        atomic_write(out, lambda fh: np.savez_compressed(fh, **arrays))
+
+    The temp file is created in the destination directory (same
+    filesystem, so ``os.replace`` is atomic) and removed on any failure.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            if callable(data):
+                data(fh)
+            elif isinstance(data, str):
+                fh.write(data.encode(encoding))
+            else:
+                fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)

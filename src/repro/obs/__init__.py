@@ -138,6 +138,8 @@ def observe(
     import json
     from pathlib import Path
 
+    from ..ioutil import atomic_write
+
     prior = (_metrics, _tracer)
     registry, tracer = enable()
     try:
@@ -146,7 +148,8 @@ def observe(
         if trace:
             tracer.export(trace)
         if metrics:
-            Path(metrics).write_text(
-                json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+            atomic_write(
+                Path(metrics),
+                json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n",
             )
         install(*prior)

@@ -20,6 +20,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Union
 
+from ..ioutil import atomic_write
+
 __all__ = ["SpanEvent", "Tracer", "NullTracer", "NULL_TRACER"]
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -141,7 +143,7 @@ class Tracer:
             json.dumps(e.to_dict(), sort_keys=True)
             for e in sorted(self.events, key=lambda e: e.start)
         ]
-        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+        atomic_write(Path(path), "\n".join(lines) + ("\n" if lines else ""))
 
     def export_chrome(self, path: PathLike) -> None:
         """Chrome trace-event JSON (open in Perfetto / chrome://tracing).
@@ -168,8 +170,7 @@ class Tracer:
             "displayTimeUnit": "ms",
             "otherData": {"tool": "repro.obs"},
         }
-        with Path(path).open("w") as fh:
-            json.dump(doc, fh, sort_keys=True)
+        atomic_write(Path(path), json.dumps(doc, sort_keys=True))
 
     def export(self, path: PathLike) -> None:
         """Export by extension: ``.jsonl`` -> JSONL, anything else Chrome."""

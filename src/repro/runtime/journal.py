@@ -36,6 +36,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Optional, TextIO, Union
 
+from ..ioutil import atomic_write
 from .errors import JournalWriteError
 
 __all__ = ["Journal"]
@@ -247,36 +248,26 @@ class Journal:
             self.path.stat().st_size if self.path.exists() else 0
         )
         records = self.load()
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with tmp.open("w") as fh:
-            for rec in records.values():
-                payload = _canonical(rec)
-                fh.write(
-                    _canonical({**rec, _CRC_KEY: _crc32(payload)}) + "\n"
-                )
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
-        self._fsync_dir()
+        # Consume tmp files left by a compaction killed before its
+        # rename (the journal itself is untouched in that case).
+        for stale in self.path.parent.glob(self.path.name + "*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        lines = []
+        for rec in records.values():
+            payload = _canonical(rec)
+            lines.append(_canonical({**rec, _CRC_KEY: _crc32(payload)}))
+        atomic_write(
+            self.path, "".join(line + "\n" for line in lines)
+        )
         get_metrics().counter("runtime.journal_compactions").inc()
         return {
             "records": len(records),
             "bytes_before": bytes_before,
             "bytes_after": self.path.stat().st_size,
         }
-
-    def _fsync_dir(self) -> None:
-        """Make the rename itself durable (best-effort off POSIX)."""
-        try:
-            fd = os.open(self.path.parent or Path("."), os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(fd)
-        except OSError:
-            pass
-        finally:
-            os.close(fd)
 
     def close(self) -> None:
         if self._fh is not None:

@@ -1,0 +1,94 @@
+"""Small AST helpers shared by the lint rules.
+
+The central piece is import-aware name resolution: rules match calls by
+*qualified* dotted name (``numpy.random.default_rng``), and
+:func:`resolve_call` maps whatever the source actually wrote (``np.
+random.default_rng``, ``from numpy.random import default_rng``) onto
+that canonical spelling using the module's import aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+__all__ = [
+    "collect_aliases",
+    "dotted_name",
+    "resolve",
+    "resolve_call",
+    "keyword_arg",
+    "const_value",
+]
+
+
+def collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted module/attribute path.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy import random`` -> ``{"random": "numpy.random"}``;
+    ``from numpy.random import default_rng as rng`` ->
+    ``{"rng": "numpy.random.default_rng"}``.
+    Relative imports are recorded with their dots stripped (good enough
+    to match in-package module names like ``obs``).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                local = a.asname or a.name.split(".")[0]
+                target = a.name if a.asname else a.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                local = a.asname or a.name
+                aliases[local] = f"{base}.{a.name}" if base else a.name
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve(name: str, aliases: Dict[str, str]) -> str:
+    """Expand the first segment of a dotted name through the alias map."""
+    head, sep, rest = name.partition(".")
+    base = aliases.get(head, head)
+    return base + sep + rest if sep else base
+
+
+def resolve_call(call: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of a call's callee, or None if not static."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return resolve(name, aliases)
+
+
+def keyword_arg(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword argument ``name``, if present."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def const_value(node: Optional[ast.expr]) -> object:
+    """The value of a constant expression, else a unique sentinel."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    return _NOT_CONST
+
+
+_NOT_CONST = object()

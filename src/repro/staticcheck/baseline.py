@@ -1,0 +1,123 @@
+"""Ratcheting baseline: known debt may shrink, never grow.
+
+The committed baseline (``tools/staticcheck_baseline.json``) records the
+accepted finding count per ``(rule, path)``.  A lint run compared against
+it can fail two ways:
+
+* **new** — a (rule, path) cell has *more* findings than the baseline
+  allows.  Fix the code (or suppress with justification); the baseline
+  is not to be grown.
+* **stale** — a cell has *fewer* findings than the baseline records.
+  The debt was paid down; shrink the baseline (``--update-baseline``)
+  so the ratchet locks in the improvement.
+
+Counts (rather than line numbers) make the ratchet robust to unrelated
+edits shifting code up and down a file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "Baseline",
+    "Comparison",
+    "counts_for",
+    "compare",
+]
+
+#: (rule, path) -> accepted finding count
+Baseline = Dict[Tuple[str, str], int]
+
+_VERSION = 1
+
+
+def counts_for(findings: Iterable[Finding]) -> Baseline:
+    counts: Baseline = {}
+    for f in findings:
+        key = (f.rule, f.path)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load(path: Path) -> Baseline:
+    """Read a committed baseline file; empty if it does not exist."""
+    if not Path(path).exists():
+        return {}
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path}"
+        )
+    out: Baseline = {}
+    for entry in data.get("entries", []):
+        out[(entry["rule"], entry["path"])] = int(entry["count"])
+    return out
+
+
+def dump(baseline: Baseline) -> str:
+    """Serialize a baseline deterministically (sorted, one entry/line)."""
+    entries = [
+        {"rule": rule, "path": path, "count": count}
+        for (rule, path), count in sorted(baseline.items())
+    ]
+    return json.dumps(
+        {"version": _VERSION, "entries": entries},
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+class Comparison:
+    """Outcome of checking a run's findings against a baseline."""
+
+    def __init__(
+        self,
+        new: List[Finding],
+        stale: List[Tuple[str, str, int, int]],
+        baselined: int,
+    ) -> None:
+        #: findings beyond the baselined count, most useful first
+        self.new = new
+        #: (rule, path, baseline_count, current_count) cells that shrank
+        self.stale = stale
+        #: findings absorbed by the baseline
+        self.baselined = baselined
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def compare(findings: List[Finding], baseline: Baseline) -> Comparison:
+    """Split findings into new vs baselined; detect stale cells.
+
+    Within one (rule, path) cell the *first* ``baseline_count`` findings
+    (sorted order: line, col) are absorbed and the remainder reported as
+    new — an approximation that errs toward flagging late-file
+    additions, which is the common shape of fresh debt.
+    """
+    current = counts_for(findings)
+    new: List[Finding] = []
+    absorbed: Dict[Tuple[str, str], int] = {}
+    baselined = 0
+    for f in sorted(findings):
+        key = (f.rule, f.path)
+        allowed = baseline.get(key, 0)
+        used = absorbed.get(key, 0)
+        if used < allowed:
+            absorbed[key] = used + 1
+            baselined += 1
+        else:
+            new.append(f)
+    stale = [
+        (rule, path, count, current.get((rule, path), 0))
+        for (rule, path), count in sorted(baseline.items())
+        if current.get((rule, path), 0) < count
+    ]
+    return Comparison(new=new, stale=stale, baselined=baselined)

@@ -1,0 +1,52 @@
+"""Rule registry: every rule class registers itself at import time.
+
+``all_rules()`` returns *fresh instances* so cross-file rules start each
+run with empty accumulators.  Rule modules live in
+:mod:`repro.staticcheck.rules`; importing that package populates the
+registry as a side effect (triggered lazily here, so the registry is
+always complete no matter which entry point imported first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .findings import Rule
+
+__all__ = ["register", "all_rules", "rule_classes", "get_rule"]
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (keyed by code)."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    existing = _REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule code {cls.code}: {existing.__name__} "
+            f"and {cls.__name__}"
+        )
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def _load() -> None:
+    from . import rules  # noqa: F401  (imports register every rule)
+
+
+def rule_classes() -> Dict[str, Type[Rule]]:
+    """Code -> rule class for every registered rule."""
+    _load()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by code."""
+    return [cls() for cls in rule_classes().values()]
+
+
+def get_rule(code: str) -> Type[Rule]:
+    _load()
+    return _REGISTRY[code]

@@ -1,0 +1,16 @@
+"""Rule plugins: importing this package registers every rule.
+
+Add a new rule by creating a :class:`~repro.staticcheck.findings.Rule`
+subclass decorated with :func:`~repro.staticcheck.registry.register` in
+one of these modules (or a new module imported here).  See
+``docs/static-analysis.md`` for the authoring walkthrough.
+"""
+
+from . import determinism, forksafety, numpy_hygiene, obs_discipline
+
+__all__ = [
+    "determinism",
+    "forksafety",
+    "numpy_hygiene",
+    "obs_discipline",
+]

@@ -1,0 +1,271 @@
+"""Determinism rules (family D).
+
+The equivalence suite (``tests/core/test_vectorized_equivalence.py``)
+and the chaos convergence suite are *replay* checks: they are only sound
+if a given seed always produces the same trajectory.  These rules flag
+the classic ways Python code silently loses that property: hidden global
+RNG state, wall clocks, set iteration order, and identity-based keys.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name, keyword_arg, resolve_call
+from ..findings import Finding, Module, Rule
+from ..registry import register
+
+__all__ = ["UnseededRng", "WallClock", "SetIterationOrder", "IdentityKey"]
+
+#: stdlib ``random`` module-level functions (the shared global generator)
+_GLOBAL_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: ``numpy.random`` legacy global-state functions
+_NP_LEGACY_FNS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "exponential",
+    "gamma", "get_state", "geometric", "normal", "permutation",
+    "poisson", "rand", "randint", "randn", "random", "random_sample",
+    "ranf", "sample", "seed", "set_state", "shuffle",
+    "standard_normal", "uniform",
+}
+
+#: clock / entropy reads that make a deterministic module's output vary
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "os.urandom",
+    "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.token_urlsafe", "secrets.randbelow",
+    "secrets.choice",
+}
+
+
+def _module_calls(module: Module) -> Iterator[ast.Call]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register
+class UnseededRng(Rule):
+    code = "D101"
+    slug = "unseeded-rng"
+    family = "determinism"
+    summary = (
+        "global-state or unseeded RNG use (stdlib random module "
+        "functions, numpy legacy np.random.*, default_rng() without "
+        "a seed)"
+    )
+    rationale = (
+        "Campaign results must be a pure function of the seed: the "
+        "resume/equivalence/chaos suites replay runs and compare "
+        "bit-for-bit.  Hidden global RNG state (or an entropy-seeded "
+        "generator) makes two runs of the same seed diverge."
+    )
+    scope = None
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in _module_calls(module):
+            name = resolve_call(call, module.aliases)
+            if name is None:
+                continue
+            head, _, tail = name.rpartition(".")
+            if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+                yield module.finding(
+                    call, self.code,
+                    f"call to random.{tail} uses the process-global RNG; "
+                    "thread an explicit seeded generator instead",
+                )
+            elif name == "random.Random" and not call.args:
+                yield module.finding(
+                    call, self.code,
+                    "random.Random() without a seed draws from OS "
+                    "entropy; pass an explicit seed",
+                )
+            elif head == "numpy.random" and tail in _NP_LEGACY_FNS:
+                yield module.finding(
+                    call, self.code,
+                    f"np.random.{tail} mutates numpy's legacy global "
+                    "state; use np.random.default_rng(seed)",
+                )
+            elif name == "numpy.random.default_rng" and not call.args \
+                    and keyword_arg(call, "seed") is None:
+                yield module.finding(
+                    call, self.code,
+                    "default_rng() without a seed draws from OS entropy; "
+                    "pass the campaign seed",
+                )
+            elif name == "numpy.random.RandomState" and not call.args:
+                yield module.finding(
+                    call, self.code,
+                    "RandomState() without a seed draws from OS entropy; "
+                    "pass an explicit seed",
+                )
+
+
+@register
+class WallClock(Rule):
+    code = "D102"
+    slug = "wall-clock"
+    family = "determinism"
+    summary = (
+        "clock or entropy read (time.time, datetime.now, os.urandom, "
+        "uuid4, ...) inside a deterministic module"
+    )
+    rationale = (
+        "The simulator, the AVF engine and the injection campaign must "
+        "be bit-for-bit replayable from a seed; any clock read that "
+        "feeds results breaks the reference-equivalence and "
+        "chaos-convergence checks.  Timing belongs in repro.obs, which "
+        "is outside this scope."
+    )
+    scope = "deterministic"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in _module_calls(module):
+            name = resolve_call(call, module.aliases)
+            if name in _WALL_CLOCK_CALLS:
+                yield module.finding(
+                    call, self.code,
+                    f"{name}() is nondeterministic; deterministic modules "
+                    "must not read clocks or entropy (route timing "
+                    "through repro.obs)",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Set literal, set comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationOrder(Rule):
+    code = "D103"
+    slug = "set-iteration-order"
+    family = "determinism"
+    summary = (
+        "iterating a set into ordered output (for-loop over a set "
+        "expression, list/tuple/enumerate/join of a set) without "
+        "sorted()"
+    )
+    rationale = (
+        "Set iteration order depends on insertion history and hash "
+        "randomisation of the process; feeding it into any ordered "
+        "output (lists, files, journals, reports) makes runs differ. "
+        "Wrap in sorted() to pin the order."
+    )
+    scope = None
+
+    _ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "reversed"}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield module.finding(
+                    node.iter, self.code,
+                    "for-loop over a set has nondeterministic order; "
+                    "iterate sorted(...) instead",
+                )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield module.finding(
+                            gen.iter, self.code,
+                            "comprehension over a set produces "
+                            "nondeterministic order; iterate sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name in self._ORDERED_CONSUMERS
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield module.finding(
+                        node, self.code,
+                        f"{name}() over a set freezes a nondeterministic "
+                        "order; use sorted(...)",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield module.finding(
+                        node, self.code,
+                        "str.join over a set produces nondeterministic "
+                        "output; join sorted(...)",
+                    )
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@register
+class IdentityKey(Rule):
+    code = "D104"
+    slug = "id-key"
+    family = "determinism"
+    summary = (
+        "id() used as a dict/set key (subscript, dict literal, "
+        ".get/.setdefault/.pop/.add argument)"
+    )
+    rationale = (
+        "id() values are arena addresses: they vary run to run and can "
+        "be recycled after garbage collection, so id-keyed tables leak "
+        "allocation order into results and can silently alias two "
+        "objects.  Acceptable only for within-pass interning of objects "
+        "kept alive for the table's whole lifetime — suppress inline "
+        "with a justification where that is proven."
+    )
+    scope = None
+
+    _KEYED_METHODS = {"get", "setdefault", "pop", "add", "discard"}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Subscript) and _is_id_call(node.slice):
+                yield module.finding(
+                    node, self.code,
+                    "id() used as a subscript key; identity keys are "
+                    "allocation-order dependent",
+                )
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and _is_id_call(key):
+                        yield module.finding(
+                            key, self.code,
+                            "id() used as a dict-literal key; identity "
+                            "keys are allocation-order dependent",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._KEYED_METHODS
+                and node.args
+                and _is_id_call(node.args[0])
+            ):
+                yield module.finding(
+                    node, self.code,
+                    f"id() passed to .{node.func.attr}(); identity keys "
+                    "are allocation-order dependent",
+                )

@@ -1,0 +1,182 @@
+"""Runtime fork- and IO-safety rules (family F).
+
+The campaign runtime's crash-consistency story rests on two invariants:
+workers are *spawned* (never forked — a forked child inherits live file
+handles, signal handlers and RNG state), signal handlers are owned by
+the executor's drain machinery alone, and every whole-file write of
+campaign state goes through the tmp + fsync + rename pattern that
+``Journal.compact()`` established (now shared as
+:func:`repro.ioutil.atomic_write`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Union
+
+from ..astutil import const_value, resolve_call
+from ..findings import Finding, Module, Rule
+from ..registry import register
+
+__all__ = ["ForkSafety", "AtomicWrite"]
+
+#: calls that make the rename-pattern visible inside a function body
+_ATOMIC_MARKERS = ("os.replace", "os.rename", "atomic_write")
+
+
+@register
+class ForkSafety(Rule):
+    code = "F301"
+    slug = "fork-safety"
+    family = "forksafety"
+    summary = (
+        "fork start-method, os.fork, or a signal handler registered "
+        "outside the executor"
+    )
+    rationale = (
+        "Forked workers inherit open journal file descriptors, the "
+        "parent's signal handlers and its RNG state — all three break "
+        "the isolation and resume guarantees tests/chaos proves.  The "
+        "executor uses spawn, and it alone installs (and restores) the "
+        "SIGINT/SIGTERM drain handlers."
+    )
+    scope = None
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, module.aliases)
+            if name in ("os.fork", "os.forkpty"):
+                yield module.finding(
+                    node, self.code,
+                    f"{name}() forks the campaign driver; workers must "
+                    "be spawned (multiprocessing spawn context)",
+                )
+                continue
+            if name is None:
+                continue
+            tail = name.rpartition(".")[2]
+            if tail in ("get_context", "set_start_method") and node.args:
+                if const_value(node.args[0]) == "fork":
+                    yield module.finding(
+                        node, self.code,
+                        "fork start method: forked workers inherit file "
+                        "handles, signal handlers and RNG state; use "
+                        "spawn",
+                    )
+            elif name == "signal.signal" and "executor" not in module.scopes:
+                yield module.finding(
+                    node, self.code,
+                    "signal handler registered outside the executor; "
+                    "drain handlers are owned by runtime.Executor (and "
+                    "restored by it)",
+                )
+
+
+def _write_mode(call: ast.Call) -> Optional[str]:
+    """The constant file mode of an open()-style call, if any."""
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    elif isinstance(call.func, ast.Attribute) and call.args:
+        # path.open("w") — mode is the first argument
+        mode = call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    value = const_value(mode)
+    return value if isinstance(value, str) else None
+
+
+@register
+class AtomicWrite(Rule):
+    code = "F302"
+    slug = "atomic-write"
+    family = "forksafety"
+    summary = (
+        "truncating file write in a persistence module outside the "
+        "tmp + fsync + rename pattern"
+    )
+    rationale = (
+        "A campaign killed mid-write must leave either the old or the "
+        "new file, never a torn hybrid: journals, metric snapshots and "
+        "trace exports are all read back by resume and analysis "
+        "tooling.  Whole-file writes must go through "
+        "repro.ioutil.atomic_write (or an explicit tmp+os.replace in "
+        "the same function); appends are exempt — the journal's "
+        "append path is protected by per-record CRCs instead."
+    )
+    scope = "persistence"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        funcs = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for call in (
+            n for n in ast.walk(module.tree) if isinstance(n, ast.Call)
+        ):
+            what = self._sink(call, module)
+            if what is None:
+                continue
+            if self._blessed(call, module, funcs):
+                continue
+            yield module.finding(
+                call, self.code,
+                f"{what} replaces a file non-atomically; use "
+                "repro.ioutil.atomic_write (tmp + fsync + rename)",
+            )
+
+    def _sink(self, call: ast.Call, module: Module) -> Optional[str]:
+        """Describe the truncating write this call performs, if any."""
+        name = resolve_call(call, module.aliases)
+        if name == "open" or (
+            isinstance(call.func, ast.Attribute) and call.func.attr == "open"
+            and name not in ("os.open",)
+        ):
+            mode = _write_mode(call)
+            if mode is not None and mode.startswith(("w", "x")):
+                return f"open(..., {mode!r})"
+            return None
+        if isinstance(call.func, ast.Attribute) and call.func.attr in (
+            "write_text", "write_bytes"
+        ):
+            return f".{call.func.attr}(...)"
+        if name in (
+            "numpy.save", "numpy.savez", "numpy.savez_compressed",
+            "numpy.savetxt",
+        ):
+            return name.replace("numpy", "np") + "(...)"
+        return None
+
+    def _blessed(
+        self,
+        call: ast.Call,
+        module: Module,
+        funcs: List[Union[ast.FunctionDef, ast.AsyncFunctionDef]],
+    ) -> bool:
+        """Whether the enclosing function exhibits the rename pattern."""
+        enclosing: Optional[
+            Union[ast.FunctionDef, ast.AsyncFunctionDef]
+        ] = None
+        for fn in funcs:
+            if (
+                fn.lineno <= call.lineno
+                and call.lineno <= (fn.end_lineno or fn.lineno)
+            ):
+                # innermost wins: keep the latest-starting candidate
+                if enclosing is None or fn.lineno >= enclosing.lineno:
+                    enclosing = fn
+        scan_root: ast.AST = enclosing if enclosing is not None else module.tree
+        for node in ast.walk(scan_root):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, module.aliases)
+            if name is None:
+                continue
+            if name in _ATOMIC_MARKERS or name.rpartition(".")[2] == (
+                "atomic_write"
+            ):
+                return True
+        return False

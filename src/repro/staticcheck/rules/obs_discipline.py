@@ -1,0 +1,177 @@
+"""Observability-discipline rules (family O).
+
+``repro.obs`` keeps its < 2% disabled-overhead contract only while
+instrumented code follows the pattern PR 2 established: spans are
+context-managed (so an exception can never leak an open span and skew
+every enclosing duration), metric names are globally consistent, and
+collection objects are only created by :mod:`repro.obs` itself — code
+elsewhere must go through the ``get_metrics()``/``get_tracer()`` no-op
+singletons.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from ..astutil import dotted_name, resolve_call
+from ..findings import Finding, Module, Rule
+from ..registry import register
+
+__all__ = ["SpanContext", "MetricNameCollision", "DirectObsConstruction"]
+
+
+def _is_tracer_receiver(func: ast.Attribute, module: Module) -> bool:
+    """Whether ``<recv>.span(...)`` plausibly targets a tracer.
+
+    Heuristic: the receiver is a ``get_tracer()`` call, or a name/attr
+    whose final segment mentions ``tracer``.  This keeps the rule away
+    from unrelated ``span`` methods (e.g. ``IntervalSet.span()``), whose
+    call sites take no arguments anyway.
+    """
+    recv = func.value
+    if isinstance(recv, ast.Call):
+        name = resolve_call(recv, module.aliases)
+        return name is not None and name.rpartition(".")[2] == "get_tracer"
+    name = dotted_name(recv)
+    if name is None:
+        return False
+    return "tracer" in name.rpartition(".")[2].lower()
+
+
+@register
+class SpanContext(Rule):
+    code = "O401"
+    slug = "span-context"
+    family = "obs"
+    summary = (
+        "tracer span opened without a with-statement (no guaranteed "
+        "close on exceptions)"
+    )
+    rationale = (
+        "A span that is entered but never exited corrupts the tracer's "
+        "depth counter, mis-nests every later span and leaks the open "
+        "duration into enclosing stages.  `with tracer.span(...)` "
+        "closes on every path, including exceptions."
+    )
+    scope = None
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and _is_tracer_receiver(node.func, module)
+            ):
+                continue
+            parent = module.parent(node)
+            if isinstance(parent, (ast.withitem, ast.Return)):
+                continue
+            yield module.finding(
+                node, self.code,
+                "tracer span not used as a context manager; write "
+                "`with ....span(...):` so it closes on every exit path",
+            )
+
+
+@register
+class MetricNameCollision(Rule):
+    code = "O402"
+    slug = "metric-name-collision"
+    family = "obs"
+    summary = (
+        "one metric name registered as different instrument kinds "
+        "across the codebase"
+    )
+    rationale = (
+        "MetricsRegistry keys counters, gauges and histograms in "
+        "separate namespaces, so the same name used as two kinds "
+        "produces two silently diverging series — and a Prometheus "
+        "exposition with duplicate metric names of conflicting types, "
+        "which scrapers reject."
+    )
+    scope = None
+
+    _KINDS = ("counter", "gauge", "histogram")
+
+    def __init__(self) -> None:
+        #: metric name -> kind -> [(module, node line/col for findings)]
+        self._sites: Dict[str, Dict[str, List[Tuple[Module, ast.Call]]]] = {}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._KINDS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            name = node.args[0].value
+            kinds = self._sites.setdefault(name, {})
+            kinds.setdefault(node.func.attr, []).append((module, node))
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        for name in sorted(self._sites):
+            kinds = self._sites[name]
+            if len(kinds) < 2:
+                continue
+            # The majority kind is taken as intended; every site of the
+            # other kinds is a finding (ties break toward the first kind
+            # in _KINDS order so output is deterministic).
+            ranked = sorted(
+                kinds,
+                key=lambda k: (-len(kinds[k]), self._KINDS.index(k)),
+            )
+            canonical = ranked[0]
+            anchor_mod, anchor = kinds[canonical][0]
+            for kind in ranked[1:]:
+                for module, node in kinds[kind]:
+                    yield module.finding(
+                        node, self.code,
+                        f"metric {name!r} registered as a {kind} here but "
+                        f"as a {canonical} at "
+                        f"{anchor_mod.relpath}:{anchor.lineno}",
+                    )
+
+
+@register
+class DirectObsConstruction(Rule):
+    code = "O403"
+    slug = "direct-obs-construction"
+    family = "obs"
+    summary = (
+        "MetricsRegistry/Tracer constructed outside repro.obs instead "
+        "of using the no-op singletons"
+    )
+    rationale = (
+        "Instrumented code must read get_metrics()/get_tracer() so that "
+        "disabled mode stays a shared falsy no-op (the < 2% overhead "
+        "contract) and enabling observability swaps every caller at "
+        "once.  A privately constructed registry records into a silo "
+        "nobody exports."
+    )
+    scope = None
+
+    _CLASSES = {"MetricsRegistry", "Tracer", "NullRegistry", "NullTracer"}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if "obs" in module.scopes:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, module.aliases)
+            if name is None:
+                continue
+            if name.rpartition(".")[2] in self._CLASSES:
+                yield module.finding(
+                    node, self.code,
+                    f"direct {name.rpartition('.')[2]}() construction "
+                    "outside repro.obs; use obs.get_metrics()/"
+                    "get_tracer() (or obs.enable()) instead",
+                )

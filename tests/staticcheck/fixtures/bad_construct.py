@@ -1,0 +1,10 @@
+"""O403 fixture: direct registry/tracer construction outside repro.obs."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def silo():
+    reg = MetricsRegistry()
+    tr = Tracer()
+    return reg, tr

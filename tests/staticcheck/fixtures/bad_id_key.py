@@ -1,0 +1,10 @@
+"""D104 fixture: id()-keyed lookups."""
+
+
+def intern(objs):
+    table = {}
+    for obj in objs:
+        table[id(obj)] = obj
+    seed = {id(objs): 0}
+    hit = table.get(id(objs))
+    return table, seed, hit

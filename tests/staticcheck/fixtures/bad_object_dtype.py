@@ -1,0 +1,9 @@
+"""N202 fixture: object-dtype arrays (flagged in every scope)."""
+
+import numpy as np
+
+
+def boxed(values):
+    a = np.array(values, dtype=object)
+    b = np.asarray(values).astype(object)
+    return a, b

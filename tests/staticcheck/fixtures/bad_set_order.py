@@ -1,0 +1,12 @@
+"""D103 fixture: set iteration feeding ordered output."""
+
+
+def orderings(values):
+    out = []
+    for tag in {"b", "a", "c"}:
+        out.append(tag)
+    listed = list(set(values))
+    comp = [v for v in frozenset(values)]
+    joined = ",".join({"x", "y"})
+    ok = sorted(set(values))
+    return out, listed, comp, joined, ok

@@ -1,0 +1,18 @@
+"""O401 fixture: spans not context-managed (plus non-tracer .span())."""
+
+from repro.obs import get_tracer
+
+
+def leaky(tracer):
+    span = tracer.span("stage")
+    get_tracer().span("inline", n=1)
+    return span
+
+
+def fine():
+    with get_tracer().span("stage"):
+        pass
+
+
+def unrelated(iset):
+    return iset.span()

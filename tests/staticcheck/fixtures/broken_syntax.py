@@ -1,0 +1,4 @@
+"""E001 fixture: this file intentionally does not parse."""
+
+def broken(:
+    pass

@@ -1,0 +1,8 @@
+"""O402 fixture, majority half: fixture.jobs_active as a counter, twice."""
+
+from repro.obs import get_metrics
+
+
+def record():
+    get_metrics().counter("fixture.jobs_active").inc()
+    get_metrics().counter("fixture.jobs_active").inc()

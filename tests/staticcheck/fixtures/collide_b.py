@@ -1,0 +1,7 @@
+"""O402 fixture, minority half: the same name registered as a gauge."""
+
+from repro.obs import get_metrics
+
+
+def record():
+    get_metrics().gauge("fixture.jobs_active").set(1)

@@ -1,0 +1,15 @@
+"""D102 fixture: wall-clock reads; 'core/' makes this deterministic scope."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamps():
+    t = time.time()
+    m = time.monotonic()
+    now = datetime.now()
+    entropy = os.urandom(8)
+    tag = uuid.uuid4()
+    return t, m, now, entropy, tag

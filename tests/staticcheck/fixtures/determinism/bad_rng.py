@@ -1,0 +1,17 @@
+"""D101 fixture: every flavour of global/unseeded RNG."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draws():
+    a = random.random()
+    rng = random.Random()
+    b = np.random.rand(3)
+    gen = default_rng()
+    legacy = np.random.RandomState()
+    good = np.random.default_rng(1234)
+    good2 = random.Random(7)
+    return a, rng, b, gen, legacy, good, good2

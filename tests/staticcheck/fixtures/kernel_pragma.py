@@ -1,0 +1,15 @@
+"""N-family fixture; opts into kernel scope via the pragma below."""
+# staticcheck: scope=kernel
+
+import numpy as np
+
+
+def kernels(values):
+    a = np.array(values)
+    z = np.zeros(4)
+    f = np.asarray(values, dtype=np.float32)
+    h = np.float32(1.5)
+    c = a.astype(np.int64)
+    ok = np.arange(8, dtype=np.int64)
+    ok2 = c.astype(np.int64, copy=False)
+    return a, z, f, h, c, ok, ok2

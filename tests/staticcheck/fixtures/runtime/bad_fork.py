@@ -1,0 +1,12 @@
+"""F301 fixture: forking and stray signal handlers."""
+
+import multiprocessing
+import os
+import signal
+
+
+def spawn_badly():
+    pid = os.fork()
+    ctx = multiprocessing.get_context("fork")
+    signal.signal(signal.SIGTERM, lambda *_: None)
+    return pid, ctx

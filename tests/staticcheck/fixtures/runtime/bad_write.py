@@ -1,0 +1,23 @@
+"""F302 fixture: truncating writes, two naive and one blessed."""
+
+import json
+import os
+from pathlib import Path
+
+
+def naive_snapshot(path, payload):
+    Path(path).write_text(json.dumps(payload))
+
+
+def naive_open(path, payload):
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def blessed_snapshot(path, payload):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,6 @@
+"""Skip-file fixture: nothing here is linted."""
+# staticcheck: skip-file
+
+import random
+
+print(random.random())

@@ -1,0 +1,10 @@
+"""Suppression fixture: inline pragmas silence rules per line."""
+
+import random
+
+
+def mixed():
+    a = random.random()  # staticcheck: ignore[D101]
+    b = random.random()  # staticcheck: ignore
+    c = random.random()
+    return a, b, c

@@ -1,0 +1,131 @@
+"""Baseline ratchet semantics: absorb, flag new, demand shrinkage."""
+
+import json
+
+import pytest
+
+from repro.staticcheck.baseline import compare, counts_for, dump, load
+from repro.staticcheck.cli import main
+from repro.staticcheck.findings import Finding
+
+from .conftest import FIXTURES
+
+
+def _f(rule, path, line):
+    return Finding(path=path, line=line, col=0, rule=rule, message="m")
+
+
+class TestCompare:
+    def test_clean_when_counts_match(self):
+        findings = [_f("D101", "a.py", 3), _f("D101", "a.py", 9)]
+        cmp = compare(findings, {("D101", "a.py"): 2})
+        assert cmp.clean
+        assert cmp.baselined == 2 and cmp.new == [] and cmp.stale == []
+
+    def test_new_finding_beyond_baseline_fails(self):
+        findings = [_f("D101", "a.py", 3), _f("D101", "a.py", 9)]
+        cmp = compare(findings, {("D101", "a.py"): 1})
+        assert not cmp.clean
+        # the later-in-file finding is reported as the new one
+        assert [(f.path, f.line) for f in cmp.new] == [("a.py", 9)]
+
+    def test_unknown_cell_is_entirely_new(self):
+        cmp = compare([_f("F302", "b.py", 1)], {})
+        assert [(f.rule, f.path) for f in cmp.new] == [("F302", "b.py")]
+
+    def test_fixed_debt_is_stale_and_fails(self):
+        # baseline says 2, code now has 0 — ratchet demands a shrink
+        cmp = compare([], {("D101", "a.py"): 2})
+        assert not cmp.clean
+        assert cmp.stale == [("D101", "a.py", 2, 0)]
+
+    def test_partial_paydown_is_stale(self):
+        cmp = compare([_f("D101", "a.py", 3)], {("D101", "a.py"): 2})
+        assert cmp.stale == [("D101", "a.py", 2, 1)]
+        assert cmp.new == []
+
+    def test_counts_for(self):
+        counts = counts_for(
+            [_f("D101", "a.py", 1), _f("D101", "a.py", 5),
+             _f("N204", "b.py", 2)]
+        )
+        assert counts == {("D101", "a.py"): 2, ("N204", "b.py"): 1}
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        baseline = {("D101", "a.py"): 2, ("F302", "x/y.py"): 1}
+        path = tmp_path / "base.json"
+        path.write_text(dump(baseline))
+        assert load(path) == baseline
+
+    def test_dump_is_deterministic_and_sorted(self):
+        a = dump({("N204", "b.py"): 1, ("D101", "a.py"): 2})
+        b = dump({("D101", "a.py"): 2, ("N204", "b.py"): 1})
+        assert a == b
+        entries = json.loads(a)["entries"]
+        assert [e["rule"] for e in entries] == ["D101", "N204"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load(tmp_path / "absent.json") == {}
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            load(path)
+
+
+class TestCliRatchet:
+    """End-to-end: the exit codes CI keys off."""
+
+    def test_no_baseline_findings_exit_1(self, capsys):
+        assert main([str(FIXTURES)]) == 1
+
+    def test_update_then_clean_exit_0(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(
+            [str(FIXTURES), "--baseline", str(base), "--update-baseline"]
+        ) == 0
+        assert main([str(FIXTURES), "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_stale_baseline_exit_1(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        main([str(FIXTURES), "--baseline", str(base), "--update-baseline"])
+        # inflate one cell: the linter now finds less than recorded
+        data = json.loads(base.read_text())
+        for entry in data["entries"]:
+            if entry["rule"] == "D103":
+                entry["count"] += 1
+        base.write_text(json.dumps(data))
+        assert main([str(FIXTURES), "--baseline", str(base)]) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_missing_path_exit_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_update_baseline_requires_baseline(self, capsys):
+        assert main([str(FIXTURES), "--update-baseline"]) == 2
+
+    def test_json_report_structure(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        main([str(FIXTURES), "--baseline", str(base), "--update-baseline"])
+        capsys.readouterr()  # drain the "baseline updated" notice
+        assert main(
+            [str(FIXTURES), "--baseline", str(base), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"]["clean"] is True
+        assert payload["counts"]["D101"] == 6
+        assert "D101" in payload["rules"]
+        assert payload["rules"]["F302"]["scope"] == "persistence"
+
+    def test_output_file_written_atomically(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        main([str(FIXTURES), "--format", "json", "--output", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["files_scanned"] == 15
+        # no stray tmp files from the atomic write
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -1,0 +1,27 @@
+"""Obs wiring: a lint run emits a span and per-rule finding counters."""
+
+from repro import obs
+from repro.staticcheck import run
+
+from .conftest import FIXTURES
+
+
+def test_lint_emits_span_and_counters():
+    with obs.observe() as (registry, tracer):
+        result = run([FIXTURES])
+        snapshot = registry.snapshot()
+        names = [e.name for e in tracer.events]
+    counters = snapshot["counters"]
+    assert counters["staticcheck.files_scanned"] == result.files_scanned
+    assert counters["staticcheck.findings"] == len(result.findings)
+    assert counters["staticcheck.findings.D101"] == 6
+    assert counters["staticcheck.findings.F302"] == 2
+    assert "lint" in names
+
+
+def test_lint_is_noop_without_obs():
+    # outside observe() the singletons are the falsy no-ops; the run
+    # must still work and record nothing.
+    assert not obs.get_metrics()
+    result = run([FIXTURES])
+    assert len(result.findings) == 36

@@ -1,0 +1,80 @@
+"""Self-check: the shipped tree stays clean against the shipped baseline.
+
+This is the test-suite copy of the CI gate: linting ``src/repro`` must
+match ``tools/staticcheck_baseline.json`` exactly — and the baseline must
+hold ZERO determinism- and atomic-IO-family debt (those violations were
+fixed, not baselined).  The injection tests prove the gate actually
+bites: planting a violation in a scratch copy of ``core/avf.py`` is
+caught.
+"""
+
+from repro.staticcheck import compare, run
+from repro.staticcheck.baseline import load
+
+from .conftest import BASELINE, SRC_REPRO
+
+
+class TestShippedTreeIsClean:
+    def test_lint_matches_committed_baseline(self):
+        result = run([SRC_REPRO])
+        comparison = compare(result.findings, load(BASELINE))
+        assert comparison.clean, (
+            "src/repro drifted from tools/staticcheck_baseline.json:\n"
+            + "\n".join(f.location() + " " + f.rule for f in comparison.new)
+            + "".join(f"\nstale: {s}" for s in comparison.stale)
+        )
+
+    def test_no_parse_errors_in_tree(self):
+        assert run([SRC_REPRO]).parse_errors == []
+
+    def test_baseline_has_no_determinism_or_atomic_io_debt(self):
+        baseline = load(BASELINE)
+        dirty = [
+            (rule, path) for (rule, path) in baseline
+            if rule.startswith("D") or rule == "F302"
+        ]
+        assert dirty == [], (
+            "determinism/atomic-IO findings must be fixed, never "
+            f"baselined: {dirty}"
+        )
+
+
+class TestInjectedViolationsAreCaught:
+    def _scratch_avf(self, tmp_path, extra=""):
+        scratch = tmp_path / "avf.py"
+        scratch.write_text(
+            (SRC_REPRO / "core" / "avf.py").read_text() + extra
+        )
+        return scratch
+
+    def test_clean_copy_of_avf_has_no_findings(self, tmp_path):
+        # the file's own D104 interning sites carry inline suppressions
+        result = run([self._scratch_avf(tmp_path)])
+        assert result.findings == []
+
+    def test_injected_unseeded_rng_is_caught(self, tmp_path):
+        scratch = self._scratch_avf(
+            tmp_path,
+            "\n\ndef _tainted_jitter():\n"
+            "    return np.random.rand()\n",
+        )
+        findings = run([scratch]).findings
+        assert [f.rule for f in findings] == ["D101"]
+        assert "np.random.rand" in findings[0].message
+        assert findings[0].snippet == "return np.random.rand()"
+
+    def test_injected_wall_clock_needs_deterministic_scope(self, tmp_path):
+        # dropped at tmp root the file has no scopes, so D102 stays quiet;
+        # under a core/ directory (as in the real tree) it fires.
+        taint = "\n\nimport time\n\ndef _stamp():\n    return time.time()\n"
+        flat = self._scratch_avf(tmp_path, taint)
+        assert run([flat]).findings == []
+
+        core = tmp_path / "core"
+        core.mkdir()
+        nested = core / "avf.py"
+        nested.write_text(flat.read_text())
+        findings = run([tmp_path]).findings
+        assert [(f.path, f.rule) for f in findings] == [
+            ("core/avf.py", "D102")
+        ]

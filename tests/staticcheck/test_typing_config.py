@@ -1,0 +1,69 @@
+"""The mypy pin: strict modules declared in pyproject, runnable when present.
+
+mypy itself is an optional tool (CI installs it; the base test env may
+not have it), so the actual type-check run is skip-gated — but the
+configuration contract is asserted unconditionally.
+"""
+
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from .conftest import REPO
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - py<3.11
+    tomllib = None
+
+STRICT_MODULES = {
+    "repro.core.intervals",
+    "repro.core.avf",
+    "repro.ioutil",
+    "repro.staticcheck",
+    "repro.staticcheck.*",
+}
+
+
+@pytest.mark.skipif(tomllib is None, reason="tomllib needs python >= 3.11")
+class TestPyprojectPin:
+    def _config(self):
+        with open(REPO / "pyproject.toml", "rb") as fh:
+            return tomllib.load(fh)
+
+    def test_mypy_section_exists(self):
+        config = self._config()
+        assert "mypy" in config["tool"]
+        assert config["tool"]["mypy"]["mypy_path"] == "src"
+
+    def test_strict_override_covers_kernels_and_linter(self):
+        overrides = self._config()["tool"]["mypy"]["overrides"]
+        strict = [o for o in overrides
+                  if o.get("disallow_untyped_defs") is True]
+        assert strict, "no strict override block found"
+        covered = set(strict[0]["module"])
+        assert STRICT_MODULES <= covered
+        # the flags that together approximate `strict = true`
+        for flag in ("disallow_incomplete_defs", "no_implicit_optional",
+                     "strict_equality", "disallow_any_generics"):
+            assert strict[0][flag] is True, flag
+
+    def test_ruff_excludes_intentionally_bad_fixtures(self):
+        config = self._config()
+        assert "tests/staticcheck/fixtures" in (
+            config["tool"]["ruff"]["extend-exclude"]
+        )
+
+
+@pytest.mark.skipif(
+    shutil.which("mypy") is None, reason="mypy not installed"
+)
+def test_mypy_clean_on_strict_modules():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml",
+         "src/repro/staticcheck", "src/repro/ioutil.py"],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
