@@ -13,6 +13,12 @@ Examples::
         --resume campaign.jsonl
     python -m repro campaign --jobs 4 --resume table2.jsonl
     python -m repro campaign compact --resume table2.jsonl
+    python -m repro campaign --fabric coordinator --listen 127.0.0.1:7777 \\
+        --shard-dir shards/ --resume table2.jsonl
+    python -m repro campaign --fabric worker --connect 127.0.0.1:7777 \\
+        --node-id n0 --shard-dir shards/
+    python -m repro campaign merge --resume table2.jsonl --shard-dir shards/
+    python -m repro stats -- campaign transpose --singles 10
     python -m repro mttf
 """
 
@@ -226,6 +232,64 @@ def _runtime_kwargs(args) -> dict:
     }
 
 
+def _parse_endpoint(text: str) -> tuple:
+    """'host:port' -> (host, port); raises ValueError on malformed input."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"bad endpoint {text!r} (want HOST:PORT)")
+    return host, int(port)
+
+
+class _FabricContext:
+    """Coordinator lifecycle for one CLI campaign: start, announce, stop."""
+
+    def __init__(self, args) -> None:
+        self.args = args
+        self.coordinator = None
+
+    def __enter__(self):
+        if getattr(self.args, "fabric", None) != "coordinator":
+            return None
+        from .runtime.fabric import FabricCoordinator
+
+        host, port = _parse_endpoint(self.args.listen or "127.0.0.1:0")
+        self.coordinator = FabricCoordinator(
+            host, port, shard_dir=self.args.shard_dir
+        )
+        self.coordinator.start()
+        print(
+            f"fabric coordinator listening on {self.coordinator.endpoint} "
+            "(point workers at it with --fabric worker --connect)",
+            file=sys.stderr,
+        )
+        return self.coordinator
+
+    def __exit__(self, *exc_info) -> None:
+        if self.coordinator is not None:
+            self.coordinator.stop()
+
+
+def _cmd_fabric_worker(args) -> int:
+    """``--fabric worker``: serve leases from a coordinator until it says
+    shutdown (or has been unreachable for a minute)."""
+    from .runtime.fabric import run_worker
+
+    addr = _parse_endpoint(args.connect)
+    node = args.node_id or f"node-{os.getpid()}"
+    print(
+        f"fabric worker {node} serving {args.connect}"
+        + (f" (shards in {args.shard_dir})" if args.shard_dir else ""),
+        file=sys.stderr,
+    )
+    run_worker(
+        addr, node,
+        shard_dir=args.shard_dir,
+        chaos_spec=args.chaos_spec or None,
+        chaos_seed=args.chaos_seed,
+    )
+    return 0
+
+
 def _resumed_notice() -> None:
     """Tell the user how much of the campaign the journal already covered."""
     counters = obs.get_metrics().snapshot().get("counters", {})
@@ -253,11 +317,13 @@ def _print_campaign(c) -> None:
 def _cmd_inject(args) -> int:
     from .faultinject import run_campaign
 
-    c = run_campaign(
-        args.workload, n_single=args.singles,
-        max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
-        **_runtime_kwargs(args),
-    )
+    with _FabricContext(args) as fabric:
+        c = run_campaign(
+            args.workload, n_single=args.singles,
+            max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
+            fabric=fabric,
+            **_runtime_kwargs(args),
+        )
     _resumed_notice()
     _print_campaign(c)
     return 0
@@ -282,18 +348,49 @@ def _cmd_compact(args) -> int:
     return 0
 
 
+def _cmd_merge(args) -> int:
+    """``repro campaign merge --resume J --shard-dir D``: fold node shard
+    journals into the canonical journal (recovery after coordinator loss;
+    see docs/distributed.md)."""
+    from .runtime.fabric import merge_shards
+
+    if not args.journal:
+        print("campaign merge requires --resume JOURNAL", file=sys.stderr)
+        return 2
+    if not args.shard_dir or not os.path.isdir(args.shard_dir):
+        print(
+            "campaign merge requires --shard-dir pointing at the node "
+            "shard directory",
+            file=sys.stderr,
+        )
+        return 2
+    stats = merge_shards(args.journal, args.shard_dir)
+    print(
+        f"merged {stats['merged']} records from {stats['shards']} shards "
+        f"into {args.journal} (already present: {stats['present']}, "
+        f"cross-shard duplicates: {stats['duplicates']})"
+    )
+    return 0
+
+
 def _cmd_campaign(args) -> int:
     from .faultinject import ace_interference_study
     from .workloads.suite import OPENCL_SAMPLES
 
+    if args.fabric == "worker":
+        return _cmd_fabric_worker(args)
     if args.benchmarks and args.benchmarks[0] == "compact":
         return _cmd_compact(args)
+    if args.benchmarks and args.benchmarks[0] == "merge":
+        return _cmd_merge(args)
     benchmarks = args.benchmarks or list(OPENCL_SAMPLES)
-    campaigns = ace_interference_study(
-        benchmarks, n_single=args.singles,
-        max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
-        **_runtime_kwargs(args),
-    )
+    with _FabricContext(args) as fabric:
+        campaigns = ace_interference_study(
+            benchmarks, n_single=args.singles,
+            max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
+            fabric=fabric,
+            **_runtime_kwargs(args),
+        )
     _resumed_notice()
     for c in campaigns:
         _print_campaign(c)
@@ -437,9 +534,66 @@ def _add_runtime_args(sub) -> None:
         "--chaos-seed", type=int, default=0, metavar="N",
         help="DEV ONLY: seed for the deterministic chaos schedule",
     )
+    sub.add_argument(
+        "--fabric", choices=("coordinator", "worker"), default=None,
+        help="distributed mode: 'coordinator' shards this campaign across "
+             "worker nodes, 'worker' serves a coordinator's leases "
+             "(see docs/distributed.md)",
+    )
+    sub.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="coordinator bind address (default 127.0.0.1:0 = any port)",
+    )
+    sub.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="coordinator address a worker node connects to",
+    )
+    sub.add_argument(
+        "--node-id", default=None, metavar="NAME",
+        help="stable worker node id (default: node-<pid>); names the "
+             "node's shard journal and keys its chaos schedule",
+    )
+    sub.add_argument(
+        "--shard-dir", default=None, metavar="DIR",
+        help="replicated-journal shard directory: workers append local "
+             "CRC'd shards here, the coordinator merges them into the "
+             "canonical --resume journal on commit",
+    )
+
+
+def _stats_wrap(argv: List[str]) -> int:
+    """``repro stats [--trace F] [--metrics F] [--prometheus] -- CMD ...``:
+    run any subcommand with full observability on, then print the
+    per-stage timing and metrics report for what it actually did."""
+    idx = argv.index("--")
+    own, inner = argv[1:idx], argv[idx + 1:]
+    parser = argparse.ArgumentParser(
+        prog="repro stats --",
+        description="profile another repro subcommand",
+    )
+    _add_obs_args(parser)
+    parser.add_argument("--prometheus", action="store_true")
+    opts = parser.parse_args(own)
+    if not inner:
+        parser.error("nothing to profile after '--'")
+    with obs.observe(trace=opts.trace, metrics=opts.metrics) as (
+        registry, tracer,
+    ):
+        # The inner main() sees obs already enabled and runs its handler
+        # directly, so this session owns the export and the report.
+        code = main(inner)
+    print()
+    if opts.prometheus:
+        print(registry.to_prometheus(), end="")
+    else:
+        print(obs.format_report(registry, tracer))
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "stats" and "--" in argv:
+        return _stats_wrap(argv)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MB-AVF: multi-bit AVF analysis (MICRO 2014 reproduction)",
@@ -535,8 +689,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--jobs must be >= 0 (0 = in-process)")
         if args.retries < 0:
             parser.error("--retries must be >= 0")
-        if args.timeout is not None and args.jobs < 1:
-            parser.error("--timeout requires --jobs >= 1 (process isolation)")
+        if (
+            args.timeout is not None and args.jobs < 1
+            and args.fabric != "coordinator"
+        ):
+            parser.error(
+                "--timeout requires --jobs >= 1 (process isolation) "
+                "or --fabric coordinator (lease expiry)"
+            )
         if args.journal and os.path.isdir(args.journal):
             parser.error(f"--resume {args.journal}: is a directory")
         if args.chaos_spec:
@@ -546,10 +706,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ChaosSpec.from_string(args.chaos_spec)
             except ValueError as exc:
                 parser.error(f"--chaos-spec: {exc}")
+        if args.fabric == "worker":
+            if args.command != "campaign":
+                parser.error("--fabric worker is a 'campaign' mode")
+            if not args.connect:
+                parser.error("--fabric worker requires --connect HOST:PORT")
+        if args.fabric is None and (args.listen or args.connect):
+            parser.error("--listen/--connect require --fabric")
+        for flag in ("listen", "connect"):
+            value = getattr(args, flag, None)
+            if value:
+                try:
+                    _parse_endpoint(value)
+                except ValueError as exc:
+                    parser.error(f"--{flag}: {exc}")
         benchmarks = getattr(args, "benchmarks", None)
-        # "campaign compact" is the journal-maintenance subcommand, not a
-        # benchmark list.
-        if benchmarks and benchmarks != ["compact"]:
+        # "campaign compact" / "campaign merge" are the journal-maintenance
+        # subcommands, not benchmark lists.
+        if benchmarks and benchmarks[0] not in ("compact", "merge"):
             unknown = [b for b in benchmarks if b not in names()]
             if unknown:
                 parser.error(f"unknown benchmarks: {', '.join(unknown)}")
@@ -571,9 +745,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Observability is always on for the commands whose reports read
         # it (resumed-task notice, stats); elsewhere only when an export
         # was asked for, so the plain paths keep their no-op
-        # instrumentation.
-        if trace or metrics or args.command in ("inject", "campaign",
-                                                "stats", "lint"):
+        # instrumentation.  When obs is already live this run is nested
+        # inside a ``stats --`` wrapper, which owns the session.
+        if not obs.enabled() and (
+            trace or metrics
+            or args.command in ("inject", "campaign", "stats", "lint")
+        ):
             with obs.observe(trace=trace, metrics=metrics):
                 return handler(args)
         return handler(args)
@@ -587,9 +764,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         if stop.journal_path is not None:
-            resume_argv = _strip_chaos_args(
-                argv if argv is not None else sys.argv[1:]
-            )
+            resume_argv = _strip_chaos_args(argv)
             print(
                 "resume with: python -m repro "
                 + " ".join(shlex.quote(a) for a in resume_argv),

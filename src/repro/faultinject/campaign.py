@@ -291,7 +291,29 @@ def _make_executor(
     journal: Optional[Union[Journal, str]],
     progress: Union[bool, str] = False,
     chaos: Optional[ChaosPolicy] = None,
-) -> Executor:
+    fabric=None,
+):
+    if fabric is not None:
+        # Distributed mode: shard injections across the fabric's worker
+        # nodes.  The runner's inject is the local-fallback function, so
+        # a dead or partitioned fleet degrades to inline execution
+        # without a second golden run.  Executor-level chaos does not
+        # apply here — the fabric has its own node-level chaos points
+        # (ChaosSpec: node_kill, rpc_*, heartbeat_blackout) carried by
+        # the worker processes and RPC clients.
+        from ..runtime.fabric import FabricExecutor, injection_job
+
+        return FabricExecutor(
+            fabric,
+            injection_job(
+                benchmark, seed=seed, n_cus=n_cus, max_cycles=max_cycles
+            ),
+            local_fn=runner.inject,
+            journal=journal,
+            retry=retry,
+            timeout=timeout,
+            progress=progress,
+        )
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = inline)")
     if jobs >= 1:
@@ -360,6 +382,7 @@ def run_campaign(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     progress: Union[bool, str] = False,
     chaos: Optional[ChaosPolicy] = None,
+    fabric=None,
 ) -> BenchmarkCampaign:
     """The Table II procedure for one benchmark.
 
@@ -380,6 +403,12 @@ def run_campaign(
     worker crashes, hangs, corrupted journal writes — per a seeded
     :class:`~repro.runtime.ChaosPolicy`; resume such a campaign *without*
     the chaos policy or its write faults replay.
+
+    ``fabric`` (a :class:`~repro.runtime.fabric.FabricCoordinator`)
+    shards the injections across worker *nodes* instead of local worker
+    processes: lease-based assignment, replicated shard journals, and
+    graceful demotion to local execution if the fleet dies.  ``jobs``
+    is ignored in fabric mode; the same journal resumes either mode.
     """
     if benchmark not in REGISTRY:
         raise KeyError(f"unknown benchmark {benchmark!r}")
@@ -395,7 +424,7 @@ def run_campaign(
     singles = [runner.random_spec(rng) for _ in range(n_single)]
     with _make_executor(
         runner, benchmark, seed, n_cus, max_cycles,
-        jobs, timeout, retry, journal, progress, chaos,
+        jobs, timeout, retry, journal, progress, chaos, fabric,
     ) as executor:
         single_tasks = [
             Task(

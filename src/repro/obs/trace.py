@@ -135,6 +135,39 @@ class Tracer:
             SpanEvent(name, end - self.t0 - duration, duration, self._depth, args)
         )
 
+    def merge_foreign(
+        self,
+        events: List[Dict],
+        *,
+        offset: float,
+        depth: int = 0,
+        **extra,
+    ) -> None:
+        """Fold spans recorded on another timeline into this one.
+
+        ``events`` are span dicts (:meth:`SpanEvent.to_dict` shape) whose
+        ``start`` is relative to the *foreign* origin; ``offset`` places
+        that origin on this tracer's timeline.  Used by the fabric
+        coordinator to merge per-task span shards shipped by worker
+        nodes, stamping each with provenance (e.g. ``node=...``) via
+        ``extra``.  Malformed entries are skipped, never raised: trace
+        merging must not fail a campaign.
+        """
+        base_depth = self._depth + depth
+        for e in events:
+            if not isinstance(e, dict):
+                continue
+            try:
+                name = str(e["name"])
+                start = offset + float(e["start"])
+                duration = float(e["duration"])
+                nest = base_depth + int(e.get("depth", 0))
+            except (KeyError, TypeError, ValueError):
+                continue
+            args = dict(e.get("args") or {})
+            args.update(extra)
+            self.events.append(SpanEvent(name, start, duration, nest, args))
+
     # -- exporters ----------------------------------------------------------
 
     def export_jsonl(self, path: PathLike) -> None:
@@ -206,6 +239,11 @@ class NullTracer(Tracer):
         return _NULL_SPAN
 
     def add_event(self, name: str, duration: float, **args) -> None:
+        pass
+
+    def merge_foreign(
+        self, events: List[Dict], *, offset: float, depth: int = 0, **extra
+    ) -> None:
         pass
 
     def export_jsonl(self, path: PathLike) -> None:

@@ -37,7 +37,22 @@ journal    ``journal_corrupt``  record bytes flipped on disk, run continues
 journal    ``journal_truncate`` partial line written, then simulated crash
 journal    ``journal_enospc``   append raises ``OSError(ENOSPC)``
 journal    ``journal_eio``      append raises ``OSError(EIO)``
+fabric     ``node_kill``     worker *node* ``os._exit``\\ s before a task
+fabric     ``rpc_drop``      an RPC attempt vanishes (no request sent)
+fabric     ``rpc_delay``     RPC delayed ``rpc_delay_seconds`` before send
+fabric     ``rpc_dup``       request sent twice (tests idempotent handlers)
+fabric     ``rpc_partition`` coordinator<->worker link down for a window
+                             of ``partition_span`` consecutive RPCs
+fabric     ``heartbeat_blackout`` a window of heartbeats silently skipped
 ========== ================= ============================================
+
+The fabric points (:mod:`repro.runtime.fabric`) model *node-level*
+infrastructure failure: ``node_kill`` is keyed on ``(task id, dispatch)``
+like the executor points, the RPC points on ``(node, seq)`` where ``seq``
+is the node's monotonic RPC counter, and the two *window* points
+(``rpc_partition``, ``heartbeat_blackout``) on ``(node, seq // span)`` so
+one firing blacks out a contiguous stretch of traffic — a partition, not
+a lone lost packet.
 """
 
 from __future__ import annotations
@@ -57,6 +72,13 @@ EXECUTOR_POINTS = ("worker_crash", "worker_hang", "task_error", "slow_task")
 JOURNAL_POINTS = (
     "journal_enospc", "journal_eio", "journal_truncate", "journal_corrupt"
 )
+#: node-level fault points applied by the distributed fabric
+FABRIC_POINTS = (
+    "node_kill", "rpc_drop", "rpc_delay", "rpc_dup", "rpc_partition",
+    "heartbeat_blackout",
+)
+#: spec fields that are magnitudes, not probabilities
+_MAGNITUDE_FIELDS = ("slow_seconds", "rpc_delay_seconds", "partition_span")
 
 
 class ChaosError(InfraError):
@@ -79,15 +101,27 @@ class ChaosSpec:
     journal_truncate: float = 0.0
     journal_enospc: float = 0.0
     journal_eio: float = 0.0
+    node_kill: float = 0.0
+    rpc_drop: float = 0.0
+    rpc_delay: float = 0.0
+    rpc_dup: float = 0.0
+    rpc_partition: float = 0.0
+    heartbeat_blackout: float = 0.0
     #: added latency when ``slow_task`` fires
     slow_seconds: float = 0.05
+    #: added latency when ``rpc_delay`` fires
+    rpc_delay_seconds: float = 0.02
+    #: consecutive RPCs (or heartbeats) lost per partition/blackout window
+    partition_span: int = 6
 
     def __post_init__(self) -> None:
+        if self.partition_span < 1:
+            raise ValueError("partition_span must be >= 1")
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name == "slow_seconds":
+            if f.name in _MAGNITUDE_FIELDS:
                 if value < 0:
-                    raise ValueError("slow_seconds must be >= 0")
+                    raise ValueError(f"{f.name} must be >= 0")
             elif not 0.0 <= value <= 1.0:
                 raise ValueError(
                     f"chaos probability {f.name} must be in [0, 1], "
@@ -111,13 +145,22 @@ class ChaosSpec:
                     + ", ".join(sorted(known))
                 )
             try:
-                kwargs[name] = float(value)
+                kwargs[name] = (
+                    int(value) if name == "partition_span" else float(value)
+                )
             except ValueError:
                 raise ValueError(f"bad chaos probability in {item!r}")
         return cls(**kwargs)
 
     def to_dict(self) -> Dict[str, float]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def any_enabled(self) -> bool:
+        """True when any fault point has a non-zero probability."""
+        return any(
+            getattr(self, f.name) for f in fields(self)
+            if f.name not in _MAGNITUDE_FIELDS
+        )
 
 
 class ChaosPolicy:
@@ -174,6 +217,49 @@ class ChaosPolicy:
             if self.should(point, task_key):
                 return point
         return None
+
+    # -- fabric (node) side --------------------------------------------------
+
+    def node_kill_action(self, task_id: str, dispatch: int) -> bool:
+        """Whether the worker *node* dies before running this dispatch.
+
+        Keyed on ``(task id, dispatch)`` — the coordinator's per-task
+        dispatch counter — so a re-dispatched task rolls fresh dice and a
+        chaos-ridden fabric campaign still converges, exactly like the
+        executor's ``worker_crash`` point.
+        """
+        return self.should("node_kill", f"{task_id}@{dispatch}")
+
+    def rpc_action(self, node: str, seq: int) -> Optional[Tuple[str, float]]:
+        """The fault (if any) for RPC number ``seq`` from ``node``.
+
+        ``rpc_partition`` wins and is keyed on the *window* ``seq //
+        partition_span``, so when it fires every RPC in that window —
+        leases, reports and heartbeats alike — fails with a connection
+        error: a link partition, not a lost packet.  The per-RPC points
+        (drop, dup, delay) are keyed on ``seq`` itself.
+        """
+        span = self.spec.partition_span
+        if self.should("rpc_partition", f"{node}#{seq // span}"):
+            return ("partition", 0.0)
+        key = f"{node}#{seq}"
+        if self.should("rpc_drop", key):
+            return ("drop", 0.0)
+        if self.should("rpc_dup", key):
+            return ("dup", 0.0)
+        if self.should("rpc_delay", key):
+            return ("delay", self.spec.rpc_delay_seconds)
+        return None
+
+    def heartbeat_blackout_active(self, node: str, beat: int) -> bool:
+        """Whether heartbeat number ``beat`` from ``node`` is swallowed.
+
+        Window-keyed like :meth:`rpc_action`'s partition: one firing
+        silences ``partition_span`` consecutive heartbeats, long enough
+        for the coordinator to expire the node's leases.
+        """
+        span = self.spec.partition_span
+        return self.should("heartbeat_blackout", f"{node}#{beat // span}")
 
 
 def apply_worker_action(action: Optional[Tuple[str, float]]) -> None:

@@ -67,7 +67,9 @@ from .errors import (
 from .journal import Journal, PathLike
 from .retry import RetryPolicy
 
-__all__ = ["Task", "TaskResult", "Executor", "run_tasks"]
+__all__ = [
+    "Task", "TaskResult", "Executor", "run_tasks", "load_journaled_results",
+]
 
 _INFINITY = float("inf")
 
@@ -223,6 +225,42 @@ class _Pending:
     duration: float = 0.0  # accumulated across failed attempts
 
 
+def load_journaled_results(
+    journal: Optional[Journal], tasks: List[Task]
+) -> "tuple[Dict[str, TaskResult], List[Task]]":
+    """Split ``tasks`` into (journaled results, still-pending tasks).
+
+    This is the resume semantics shared by the local :class:`Executor`
+    and the distributed fabric coordinator: a journaled record is
+    returned as-is (never re-executed), a record that cannot be rebuilt
+    is quarantined and its task re-run, and the ``runtime.tasks_resumed``
+    counter records how much work the journal already covered.
+    """
+    results: Dict[str, TaskResult] = {}
+    pending: List[Task] = []
+    journaled = journal.load() if journal else {}
+    for t in tasks:
+        rec = journaled.get(t.id)
+        if rec is None:
+            pending.append(t)
+            continue
+        try:
+            results[t.id] = TaskResult.from_record(rec)
+        except JournalRecordError:
+            journal.quarantine_record(rec, "bad_record")
+            warnings.warn(
+                f"journal record for task {t.id!r} is unusable; "
+                "quarantined and re-running the task",
+                stacklevel=2,
+            )
+            pending.append(t)
+    if results:
+        # Resumed-from-journal work is visible to the caller (e.g. the
+        # CLI's "resumed N completed tasks" notice) via this counter.
+        get_metrics().counter("runtime.tasks_resumed").inc(len(results))
+    return results, pending
+
+
 class Executor:
     """Runs tasks through isolated workers (or inline) with retries,
     timeouts and journaling.  See the module docstring for semantics."""
@@ -312,28 +350,7 @@ class Executor:
         ids = [t.id for t in tasks]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate task ids")
-        results: Dict[str, TaskResult] = {}
-        journaled = self.journal.load() if self.journal else {}
-        pending = []
-        for t in tasks:
-            rec = journaled.get(t.id)
-            if rec is None:
-                pending.append(t)
-                continue
-            try:
-                results[t.id] = TaskResult.from_record(rec)
-            except JournalRecordError:
-                self.journal.quarantine_record(rec, "bad_record")
-                warnings.warn(
-                    f"journal record for task {t.id!r} is unusable; "
-                    "quarantined and re-running the task",
-                    stacklevel=2,
-                )
-                pending.append(t)
-        if results:
-            # Resumed-from-journal work is visible to the caller (e.g. the
-            # CLI's "resumed N completed tasks" notice) via this counter.
-            get_metrics().counter("runtime.tasks_resumed").inc(len(results))
+        results, pending = load_journaled_results(self.journal, tasks)
         self._draining = False
         self._worker_kills = {}
         saved_handlers = self._install_signal_handlers()

@@ -1,0 +1,133 @@
+"""Replicated-journal recovery: merge node shards into the canonical log.
+
+Every fabric node appends its task records to a local CRC'd shard
+journal *before* reporting them, so each record exists in at least two
+places once the coordinator acks it: the node's shard and the canonical
+campaign journal.  When a coordinator is lost mid-flight the canonical
+journal may lag the shards (reports in flight, a partition, a crash
+between execute and ack); :func:`merge_shards` closes that gap by
+folding every readable shard record the canonical journal is missing
+back into it, so ``--resume`` converges to the undisturbed result with
+zero lost and zero duplicated records.
+
+Merge semantics:
+
+* shards are read through :class:`~repro.runtime.journal.Journal`, so a
+  corrupt shard line is CRC-quarantined to the shard's sidecar exactly
+  like a corrupt canonical line — a damaged shard degrades to "its
+  unreadable tasks re-run", never to a wrong result;
+* shards are processed in sorted path order and records carry the
+  node's per-record ``seq``, making the merge deterministic however the
+  shard files interleave;
+* a task present in several shards (at-least-once execution: a
+  re-dispatched task whose first node was merely partitioned, not dead)
+  is deduplicated by the journal record identity — the task id — with
+  ``ok`` outcomes preferred over failures and higher attempt numbers
+  winning ties, so a late success supersedes a superseded failure;
+* a task already in the canonical journal is never overwritten: the
+  coordinator's commit is the authoritative copy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ...obs import get_metrics
+from ..errors import TaskOutcome
+from ..journal import Journal, PathLike
+
+__all__ = ["merge_shards", "find_shards", "SPAN_SHARD_SUFFIX"]
+
+#: worker span shards live next to the record shard: <node>.spans.jsonl
+SPAN_SHARD_SUFFIX = ".spans.jsonl"
+
+
+def find_shards(shard_dir: PathLike) -> List[Path]:
+    """Record shards under ``shard_dir``: every ``*.jsonl`` that is not a
+    span shard or a quarantine sidecar, in sorted (deterministic) order."""
+    root = Path(shard_dir)
+    if not root.is_dir():
+        return []
+    out = []
+    for p in sorted(root.glob("*.jsonl")):
+        name = p.name
+        if name.endswith(SPAN_SHARD_SUFFIX) or name.endswith(".quarantine"):
+            continue
+        out.append(p)
+    return out
+
+
+def _preferred(a: Dict, b: Dict) -> Dict:
+    """The record to keep when one task appears in several shards."""
+    a_ok = a.get("outcome") == TaskOutcome.OK
+    b_ok = b.get("outcome") == TaskOutcome.OK
+    if a_ok != b_ok:
+        return a if a_ok else b
+    try:
+        if int(b.get("attempts", 1)) > int(a.get("attempts", 1)):
+            return b
+    except (TypeError, ValueError):
+        pass
+    return a
+
+
+def merge_shards(
+    journal: Union[Journal, PathLike],
+    shards: Union[PathLike, Sequence[PathLike]],
+    *,
+    node_field: str = "node",
+) -> Dict[str, int]:
+    """Fold shard records missing from ``journal`` into it.
+
+    ``shards`` is a shard directory (expanded via :func:`find_shards`)
+    or an explicit sequence of shard paths.  Returns statistics:
+    ``merged`` (records appended), ``present`` (shard records the
+    canonical journal already held), ``duplicates`` (cross-shard
+    duplicates collapsed), and ``shards`` (files read).
+    """
+    if not isinstance(journal, Journal):
+        journal = Journal(journal)
+    if isinstance(shards, (str, Path)):
+        shard_paths: Iterable[PathLike] = find_shards(shards)
+    else:
+        shard_paths = [Path(p) for p in shards]
+    canonical = journal.load()
+    fresh: Dict[str, Dict] = {}
+    order: List[Tuple[int, int, str]] = []
+    present = 0
+    duplicates = 0
+    n_shards = 0
+    for shard_idx, path in enumerate(shard_paths):
+        n_shards += 1
+        records = Journal(path).load()
+        # Journal.load() keys by task id; replay in the shard's own
+        # append order (per-node seq) so the merge is reproducible.
+        items = sorted(
+            records.items(),
+            key=lambda kv: int(kv[1].get("seq", 0)),
+        )
+        for task_id, rec in items:
+            if task_id in canonical:
+                present += 1
+                continue
+            if task_id in fresh:
+                duplicates += 1
+                fresh[task_id] = _preferred(fresh[task_id], rec)
+                continue
+            fresh[task_id] = rec
+            order.append((shard_idx, int(rec.get("seq", 0)), task_id))
+    for _, _, task_id in order:
+        rec = dict(fresh[task_id])
+        rec.setdefault(node_field, "unknown")
+        journal.append(rec)
+    journal.close()
+    merged = len(order)
+    if merged:
+        get_metrics().counter("fabric.records_merged").inc(merged)
+    return {
+        "merged": merged,
+        "present": present,
+        "duplicates": duplicates,
+        "shards": n_shards,
+    }

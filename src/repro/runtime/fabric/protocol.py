@@ -1,0 +1,139 @@
+"""Wire protocol for the campaign fabric: HTTP/JSON envelopes and jobs.
+
+Everything that crosses the coordinator<->worker link is JSON, carried
+in one POST to ``/rpc``.  A request envelope is::
+
+    {"v": 1, "method": "lease", "node": "worker-ab12", "seq": 17,
+     "deadline_ms": 5000, "params": {...}}
+
+and a response is ``{"ok": true, "result": {...}}`` or ``{"ok": false,
+"error": "..."}``.  ``seq`` is the node's monotonic RPC counter — it
+keys the deterministic chaos schedule and lets the coordinator log
+traffic per node; ``deadline_ms`` mirrors the client-side socket
+timeout so the server knows the caller's patience (every RPC carries a
+deadline — there is no untimed network call anywhere in the fabric).
+
+A :class:`JobSpec` names *what a task means*: a registered entrypoint
+kind plus a JSON context from which any node can rebuild the task
+function (see :mod:`repro.runtime.fabric.tasks`).  Shipping the job
+spec with each lease — rather than pickled callables — is what keeps
+the fabric language-level safe and lets a worker serve many campaigns
+in sequence, caching built functions by the spec's digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JobSpec",
+    "RpcError",
+    "RpcUnavailable",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "encode_error",
+]
+
+PROTOCOL_VERSION = 1
+
+#: methods a coordinator must answer (the whole surface of the fabric)
+METHODS = ("register", "lease", "heartbeat", "report", "goodbye")
+
+
+class RpcError(RuntimeError):
+    """An RPC failed for good: bad request, version skew, server error."""
+
+
+class RpcUnavailable(RpcError):
+    """The peer cannot be reached (refused, timed out, partitioned).
+
+    Transient by definition — the client retries these with the
+    deterministic backoff policy before giving up.
+    """
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A named task entrypoint plus the JSON context to rebuild it."""
+
+    kind: str
+    ctx: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def digest(self) -> str:
+        """Stable identity of this job (keys worker-side function caches)."""
+        canon = json.dumps(
+            {"kind": self.kind, "ctx": self.ctx}, sort_keys=True
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "ctx": self.ctx}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        if not isinstance(data, dict) or not isinstance(data.get("kind"), str):
+            raise RpcError(f"malformed job spec: {data!r}")
+        return cls(kind=data["kind"], ctx=dict(data.get("ctx") or {}))
+
+
+def encode_request(
+    method: str,
+    params: Dict[str, Any],
+    *,
+    node: str,
+    seq: int,
+    deadline_ms: Optional[int] = None,
+) -> bytes:
+    return json.dumps(
+        {
+            "v": PROTOCOL_VERSION,
+            "method": method,
+            "node": node,
+            "seq": seq,
+            "deadline_ms": deadline_ms,
+            "params": params,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_request(body: bytes) -> Dict[str, Any]:
+    """Parse and validate one request envelope (server side)."""
+    try:
+        env = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RpcError(f"request is not JSON: {exc}") from exc
+    if not isinstance(env, dict):
+        raise RpcError("request envelope must be a JSON object")
+    if env.get("v") != PROTOCOL_VERSION:
+        raise RpcError(
+            f"protocol version mismatch: got {env.get('v')!r}, "
+            f"want {PROTOCOL_VERSION}"
+        )
+    method = env.get("method")
+    if method not in METHODS:
+        raise RpcError(f"unknown method {method!r}")
+    if not isinstance(env.get("node"), str) or not env["node"]:
+        raise RpcError("request carries no node id")
+    params = env.get("params")
+    if not isinstance(params, dict):
+        raise RpcError("request params must be a JSON object")
+    return env
+
+
+def encode_response(result: Dict[str, Any]) -> bytes:
+    return json.dumps({"ok": True, "result": result}, sort_keys=True).encode(
+        "utf-8"
+    )
+
+
+def encode_error(message: str) -> bytes:
+    return json.dumps({"ok": False, "error": message}, sort_keys=True).encode(
+        "utf-8"
+    )

@@ -74,6 +74,8 @@ def classify_scopes(relpath: str) -> Set[str]:
         scopes.add("persistence")
     if rel.endswith("runtime/executor.py"):
         scopes.add("executor")
+    if "fabric" in parts:
+        scopes.add("fabric")
     return scopes
 
 

@@ -54,7 +54,8 @@ class Module:
     """One parsed source file plus everything rules need to inspect it.
 
     ``scopes`` classifies the module (``deterministic``, ``kernel``,
-    ``persistence``, ``executor``, ``obs``, ``runtime``) from its path
+    ``persistence``, ``executor``, ``fabric``, ``obs``, ``runtime``)
+    from its path
     and any ``# staticcheck: scope=...`` pragma; rules declare the scope
     they apply to.  ``suppressions`` maps line numbers to the rule codes
     suppressed there (``None`` = all rules).

@@ -7,6 +7,11 @@ the executor's drain machinery alone, and every whole-file write of
 campaign state goes through the tmp + fsync + rename pattern that
 ``Journal.compact()`` established (now shared as
 :func:`repro.ioutil.atomic_write`).
+
+The distributed fabric adds a third liveness invariant: no socket or
+HTTP call in a fabric/executor module may run without an explicit
+timeout, because lease expiry and orphan detection only work when every
+RPC eventually returns (F303).
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from ..astutil import const_value, resolve_call
 from ..findings import Finding, Module, Rule
 from ..registry import register
 
-__all__ = ["ForkSafety", "AtomicWrite"]
+__all__ = ["ForkSafety", "AtomicWrite", "UntimedNetworkCall"]
 
 #: calls that make the rename-pattern visible inside a function body
 _ATOMIC_MARKERS = ("os.replace", "os.rename", "atomic_write")
@@ -157,18 +162,7 @@ class AtomicWrite(Rule):
         funcs: List[Union[ast.FunctionDef, ast.AsyncFunctionDef]],
     ) -> bool:
         """Whether the enclosing function exhibits the rename pattern."""
-        enclosing: Optional[
-            Union[ast.FunctionDef, ast.AsyncFunctionDef]
-        ] = None
-        for fn in funcs:
-            if (
-                fn.lineno <= call.lineno
-                and call.lineno <= (fn.end_lineno or fn.lineno)
-            ):
-                # innermost wins: keep the latest-starting candidate
-                if enclosing is None or fn.lineno >= enclosing.lineno:
-                    enclosing = fn
-        scan_root: ast.AST = enclosing if enclosing is not None else module.tree
+        scan_root = _enclosing_function(call, funcs) or module.tree
         for node in ast.walk(scan_root):
             if not isinstance(node, ast.Call):
                 continue
@@ -177,6 +171,132 @@ class AtomicWrite(Rule):
                 continue
             if name in _ATOMIC_MARKERS or name.rpartition(".")[2] == (
                 "atomic_write"
+            ):
+                return True
+        return False
+
+
+def _enclosing_function(
+    node: ast.AST,
+    funcs: List[Union[ast.FunctionDef, ast.AsyncFunctionDef]],
+) -> Optional[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    """The innermost function whose span contains ``node``, if any."""
+    enclosing: Optional[Union[ast.FunctionDef, ast.AsyncFunctionDef]] = None
+    line = getattr(node, "lineno", 0)
+    for fn in funcs:
+        if fn.lineno <= line <= (fn.end_lineno or fn.lineno):
+            # innermost wins: keep the latest-starting candidate
+            if enclosing is None or fn.lineno >= enclosing.lineno:
+                enclosing = fn
+    return enclosing
+
+
+#: constructors/openers that take an optional timeout (keyword position
+#: of the positional timeout argument, or None when only keyword works)
+_NETWORK_SINKS = {
+    "http.client.HTTPConnection": 2,
+    "http.client.HTTPSConnection": 2,
+    "socket.create_connection": 1,
+    "urllib.request.urlopen": 2,
+}
+
+
+@register
+class UntimedNetworkCall(Rule):
+    code = "F303"
+    slug = "untimed-network-call"
+    family = "forksafety"
+    summary = (
+        "socket/HTTP call without an explicit timeout in a fabric or "
+        "executor module"
+    )
+    rationale = (
+        "The fabric's liveness guarantees (lease expiry re-dispatches "
+        "work, dead coordinators demote workers to exit) all assume no "
+        "RPC can block forever.  Python sockets default to *no* "
+        "timeout, so one forgotten keyword turns a partition into a "
+        "hung campaign.  Every connection constructor must pass "
+        "``timeout=`` (or call ``settimeout`` with a bound); "
+        "``settimeout(None)`` re-disables it and is equally flagged."
+    )
+    scope = "fabric"
+
+    #: the rule also guards the single-host executor (same liveness
+    #: argument: drains must never wait on an unbounded socket)
+    _SCOPES = frozenset({"fabric", "executor"})
+
+    def applies(self, module: Module) -> bool:
+        return bool(self._SCOPES & module.scopes)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        funcs = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for call in (
+            n for n in ast.walk(module.tree) if isinstance(n, ast.Call)
+        ):
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "settimeout"
+                and call.args
+                and const_value(call.args[0]) is None
+            ):
+                yield module.finding(
+                    call, self.code,
+                    "settimeout(None) disables the socket timeout; a "
+                    "dead peer then blocks the fabric forever",
+                )
+                continue
+            name = resolve_call(call, module.aliases)
+            if name is None:
+                continue
+            if name == "socket.socket":
+                if not self._sets_timeout_nearby(call, module, funcs):
+                    yield module.finding(
+                        call, self.code,
+                        "socket.socket() starts with no timeout; call "
+                        "settimeout(...) in the same function or use "
+                        "socket.create_connection(..., timeout=...)",
+                    )
+                continue
+            pos = _NETWORK_SINKS.get(name)
+            if pos is None:
+                continue
+            if self._has_timeout(call, pos):
+                continue
+            yield module.finding(
+                call, self.code,
+                f"{name}(...) without an explicit timeout: a dead or "
+                "partitioned peer blocks this call forever; pass "
+                "timeout=",
+            )
+
+    @staticmethod
+    def _has_timeout(call: ast.Call, pos: int) -> bool:
+        """Whether the call pins a timeout (keyword, position or **kw)."""
+        for kw in call.keywords:
+            if kw.arg == "timeout":
+                return const_value(kw.value) is not None
+            if kw.arg is None:  # **kwargs: can't see inside, trust it
+                return True
+        return len(call.args) > pos
+
+    def _sets_timeout_nearby(
+        self,
+        call: ast.Call,
+        module: Module,
+        funcs: List[Union[ast.FunctionDef, ast.AsyncFunctionDef]],
+    ) -> bool:
+        """Whether the enclosing function calls settimeout(bound)."""
+        scan_root = _enclosing_function(call, funcs) or module.tree
+        for node in ast.walk(scan_root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "settimeout"
+                and node.args
+                and const_value(node.args[0]) is not None
             ):
                 return True
         return False

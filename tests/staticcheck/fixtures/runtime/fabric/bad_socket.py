@@ -1,0 +1,30 @@
+"""Fixture: untimed network calls (F303) plus timed look-alikes.
+
+Lives under ``runtime/fabric/`` so path classification grants the
+``fabric`` scope the rule is gated on.
+"""
+
+import http.client
+import socket
+import urllib.request
+
+
+def untimed():
+    conn = http.client.HTTPConnection("coord", 8080)
+    raw = socket.create_connection(("coord", 8080))
+    resp = urllib.request.urlopen("http://coord:8080/rpc")
+    bare = socket.socket()
+    return conn, raw, resp, bare
+
+
+def disabled(sock):
+    sock.settimeout(None)
+
+
+def timed(deadline):
+    conn = http.client.HTTPConnection("coord", 8080, timeout=deadline)
+    raw = socket.create_connection(("coord", 8080), 3.0)
+    resp = urllib.request.urlopen("http://coord:8080/rpc", timeout=1.0)
+    bare = socket.socket()
+    bare.settimeout(2.0)
+    return conn, raw, resp, bare

@@ -109,6 +109,33 @@ class TestForkSafetyRules:
             fixture_findings, "F302"
         )
 
+    def test_f303_untimed_network_calls(self, fixture_findings):
+        assert findings_for(fixture_findings, "F303") == [
+            ("runtime/fabric/bad_socket.py", 13),  # HTTPConnection
+            ("runtime/fabric/bad_socket.py", 14),  # create_connection
+            ("runtime/fabric/bad_socket.py", 15),  # urlopen
+            ("runtime/fabric/bad_socket.py", 16),  # bare socket.socket()
+            ("runtime/fabric/bad_socket.py", 21),  # settimeout(None)
+        ]
+
+    def test_f303_timed_variants_not_flagged(self, fixture_findings):
+        # timed() (lines 25-29) passes timeout= / positional timeout /
+        # settimeout(2.0) and must stay clean.
+        flagged = {
+            line for path, line in findings_for(fixture_findings, "F303")
+            if path == "runtime/fabric/bad_socket.py"
+        }
+        assert not flagged & set(range(24, 31))
+
+    def test_f303_scope_gated_to_fabric_and_executor(self, fixture_findings):
+        # runtime/bad_fork.py / bad_write.py sit outside the fabric and
+        # executor scopes, so their (absent) network calls aside, the
+        # rule must never fire there.
+        assert all(
+            path.startswith("runtime/fabric/")
+            for path, _ in findings_for(fixture_findings, "F303")
+        )
+
 
 class TestObsDisciplineRules:
     def test_o401_span_without_with(self, fixture_findings):
@@ -159,11 +186,11 @@ class TestEngineBehaviour:
         assert lines == [9]
 
     def test_total_finding_count(self, fixture_result):
-        assert len(fixture_result.findings) == 36
+        assert len(fixture_result.findings) == 41
         assert fixture_result.by_rule() == {
             "D101": 6, "D102": 5, "D103": 4, "D104": 3, "E001": 1,
-            "F301": 3, "F302": 2, "N201": 2, "N202": 2, "N203": 2,
-            "N204": 1, "O401": 2, "O402": 1, "O403": 2,
+            "F301": 3, "F302": 2, "F303": 5, "N201": 2, "N202": 2,
+            "N203": 2, "N204": 1, "O401": 2, "O402": 1, "O403": 2,
         }
 
     def test_findings_are_sorted_and_carry_snippets(self, fixture_findings):

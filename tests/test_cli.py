@@ -272,3 +272,134 @@ class TestObservabilityFlags:
         assert main(["stats", "vectoradd"]) == 0
         capsys.readouterr()
         assert not obs.enabled()
+
+    def test_stats_wraps_arbitrary_subcommand(self, capsys):
+        """``repro stats -- CMD ...`` profiles any other subcommand."""
+        assert main(["stats", "--", "mttf"]) == 0
+        out = capsys.readouterr().out
+        assert "FIT/Mbit" in out  # the wrapped mttf table ran
+        assert "== stage timings ==" in out
+        assert "== metrics ==" in out
+
+    def test_stats_wrapper_prometheus(self, capsys):
+        assert main(["stats", "--prometheus", "--", "run", "vectoradd"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" not in out
+        assert "# TYPE repro_sim_instructions_total counter" in out
+
+    def test_stats_wrapper_propagates_exit_code(self, capsys, tmp_path):
+        assert main(
+            ["stats", "--", "campaign", "merge",
+             "--resume", str(tmp_path / "j.jsonl")]
+        ) == 2
+
+    def test_stats_wrapper_rejects_empty_inner_command(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--"])
+
+
+class TestFabricFlags:
+    """--fabric/--listen/--connect validation and the journal-maintenance
+    subcommands (``campaign merge`` / ``campaign compact``)."""
+
+    def test_listen_without_fabric_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "transpose", "--listen", "127.0.0.1:0"])
+
+    def test_connect_without_fabric_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--connect", "127.0.0.1:9"])
+
+    def test_fabric_worker_requires_campaign_command(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "transpose", "--fabric", "worker",
+                  "--connect", "127.0.0.1:9"])
+
+    def test_fabric_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--fabric", "worker"])
+
+    def test_malformed_endpoint_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "transpose", "--fabric", "coordinator",
+                  "--listen", "noport"])
+
+    def test_timeout_allowed_under_fabric_coordinator(self, capsys,
+                                                      tmp_path):
+        """--timeout without --jobs is legal in fabric mode: lease expiry
+        enforces it instead of process isolation."""
+        assert main(
+            ["inject", "transpose", "--singles", "2", "--groups", "1",
+             "--cus", "1", "--timeout", "60",
+             "--fabric", "coordinator",
+             "--resume", str(tmp_path / "j.jsonl")]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "fabric coordinator listening on" in captured.err
+        assert "SDC ACE bits" in captured.out
+
+    def test_fleetless_coordinator_campaign_demotes_to_local(
+        self, capsys, tmp_path
+    ):
+        """A coordinator with no workers still finishes the campaign by
+        demoting every task to local execution."""
+        import json
+
+        journal = tmp_path / "campaign.jsonl"
+        assert main(
+            ["inject", "transpose", "--singles", "2", "--groups", "1",
+             "--cus", "1", "--fabric", "coordinator",
+             "--resume", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SDC ACE bits" in out
+        nodes = {
+            json.loads(line)["node"]
+            for line in journal.read_text().splitlines()
+        }
+        assert nodes == {"local"}
+
+    def test_merge_requires_resume(self, capsys):
+        assert main(["campaign", "merge"]) == 2
+        assert "requires --resume" in capsys.readouterr().err
+
+    def test_merge_requires_shard_dir(self, capsys, tmp_path):
+        assert main(
+            ["campaign", "merge", "--resume", str(tmp_path / "j.jsonl")]
+        ) == 2
+        assert "requires --shard-dir" in capsys.readouterr().err
+        assert main(
+            ["campaign", "merge", "--resume", str(tmp_path / "j.jsonl"),
+             "--shard-dir", str(tmp_path / "nowhere")]
+        ) == 2
+
+    def test_merge_folds_shards_into_canonical_journal(self, capsys,
+                                                       tmp_path):
+        from repro.runtime.journal import Journal
+
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        shard = Journal(shard_dir / "n0.jsonl")
+        shard.append({
+            "task": "m/00", "outcome": "ok", "value": 1, "error": "",
+            "attempts": 1, "duration": 0.0, "seq": 1, "node": "n0",
+        })
+        shard.close()
+        journal = tmp_path / "campaign.jsonl"
+        assert main(
+            ["campaign", "merge", "--resume", str(journal),
+             "--shard-dir", str(shard_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merged 1 records from 1 shards" in out
+        assert Journal(journal).load()["m/00"]["value"] == 1
+
+    def test_compact_requires_resume(self, capsys):
+        assert main(["campaign", "compact"]) == 2
+        assert "requires --resume" in capsys.readouterr().err
+
+    def test_compact_missing_journal(self, capsys, tmp_path):
+        assert main(
+            ["campaign", "compact", "--resume", str(tmp_path / "no.jsonl")]
+        ) == 2
+        assert "does not exist" in capsys.readouterr().err
