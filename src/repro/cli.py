@@ -20,6 +20,12 @@ Examples::
     python -m repro campaign merge --resume table2.jsonl --shard-dir shards/
     python -m repro stats -- campaign transpose --singles 10
     python -m repro mttf
+    python -m repro avf matmul --store results.sqlite
+    python -m repro query --store results.sqlite --workload matmul --json
+    python -m repro query --store results.sqlite --group-by scheme,style \\
+        --value sdc_avf --agg mean
+    python -m repro report build --store results.sqlite --out report/
+    python -m repro report serve --store results.sqlite --listen 127.0.0.1:0
 """
 
 from __future__ import annotations
@@ -127,6 +133,13 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _store_notice(counts: dict) -> None:
+    print(
+        f"stored: {counts['ingested']} new, "
+        f"{counts['deduped']} already present"
+    )
+
+
 def _cmd_avf(args) -> int:
     study = _build_study(args)
     res = _measure(study, args, args.mode)
@@ -158,6 +171,15 @@ def _cmd_avf(args) -> int:
         print(f"total AVF:    {res.total_avf:.6f}")
 
     _emit(args, payload, render)
+    if args.store:
+        from .store import ingest_results, open_store
+
+        with open_store(args.store) as store:
+            counts = ingest_results(
+                store, [res], workload=args.workload, style=args.style,
+                factor=args.factor, seed=args.seed, source="cli/avf",
+            )
+        _store_notice(counts)
     return 0
 
 
@@ -321,7 +343,7 @@ def _cmd_inject(args) -> int:
         c = run_campaign(
             args.workload, n_single=args.singles,
             max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
-            fabric=fabric,
+            fabric=fabric, store=args.store,
             **_runtime_kwargs(args),
         )
     _resumed_notice()
@@ -370,6 +392,12 @@ def _cmd_merge(args) -> int:
         f"into {args.journal} (already present: {stats['present']}, "
         f"cross-shard duplicates: {stats['duplicates']})"
     )
+    if args.store:
+        from .store import ingest_journal, open_store
+
+        with open_store(args.store) as store:
+            counts = ingest_journal(store, args.journal)
+        _store_notice(counts)
     return 0
 
 
@@ -388,7 +416,7 @@ def _cmd_campaign(args) -> int:
         campaigns = ace_interference_study(
             benchmarks, n_single=args.singles,
             max_groups_per_mode=args.groups, seed=args.seed, n_cus=args.cus,
-            fabric=fabric,
+            fabric=fabric, store=args.store,
             **_runtime_kwargs(args),
         )
     _resumed_notice()
@@ -435,6 +463,97 @@ def _cmd_mttf(args) -> int:
                   f"{r.mttf_tmbf_100yr:12.3e}")
 
     _emit(args, payload, render)
+    if args.store:
+        from .store import open_store
+
+        with open_store(args.store) as store:
+            ingested, deduped = store.put_mttf_rows(rows)
+        _store_notice({"ingested": ingested, "deduped": deduped})
+    return 0
+
+
+def _cmd_query(args) -> int:
+    """``repro query``: answer AVF questions from the store alone — no
+    simulation runs, however many rows come back."""
+    from .store import open_store
+
+    filters = {}
+    for column in ("workload", "structure", "scheme", "style", "mode",
+                   "ser_model", "source", "factor", "seed"):
+        values = getattr(args, column)
+        if values:
+            filters[column] = values[0] if len(values) == 1 else values
+    with open_store(args.store) as store:
+        result = store.query(limit=args.limit, **filters)
+        if args.group_by:
+            keys = tuple(k for k in args.group_by.split(",") if k)
+            grouped = result.group_by(
+                keys, value=args.value, agg=args.agg
+            )
+            payload = {
+                "groups": [
+                    {"key": list(k), args.value: v}
+                    for k, v in grouped.items()
+                ],
+                "agg": args.agg,
+                "value": args.value,
+            }
+
+            def render() -> None:
+                width = max(
+                    (len(" ".join(str(p) for p in k)) for k in grouped),
+                    default=8,
+                )
+                print(f"{'group':<{width}}  {args.agg}({args.value})")
+                for key, value in grouped.items():
+                    label = " ".join(str(p) for p in key)
+                    print(f"{label:<{width}}  {value:.6f}")
+
+        else:
+            payload = {"rows": result.to_dicts(), "count": len(result)}
+
+            def render() -> None:
+                print(
+                    f"{'workload':<12} {'struct':<6} {'scheme':<8} "
+                    f"{'layout':<16} {'mode':<9} {'DUE':>9} {'SDC':>9}"
+                )
+                for r in result:
+                    print(
+                        f"{r.workload:<12} {r.structure:<6} {r.scheme:<8} "
+                        f"{r.style + ' x' + str(r.factor):<16} "
+                        f"{r.mode:<9} {r.due_avf:9.5f} {r.sdc_avf:9.5f}"
+                    )
+                print(f"{len(result)} rows")
+
+    _emit(args, payload, render)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """``repro report build|serve``: render the store as the paper's
+    figures — statically to disk, or live over HTTP."""
+    from .report import ReportService, build_report
+    from .store import open_store
+
+    if args.action == "build":
+        with open_store(args.store) as store:
+            index = build_report(store, args.out)
+        print(f"report written to {index}")
+        return 0
+    host, port = _parse_endpoint(args.listen or "127.0.0.1:0")
+    service = ReportService(args.store, host=host, port=port)
+    service.start()
+    print(f"report service listening on {service.endpoint} (Ctrl-C stops)",
+          file=sys.stderr)
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
     return 0
 
 
@@ -500,6 +619,17 @@ def _add_json_arg(sub) -> None:
     sub.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of the text report",
+    )
+
+
+def _add_store_arg(sub, help_text: Optional[str] = None) -> None:
+    sub.add_argument(
+        "--store", metavar="PATH", default=None,
+        help=help_text or (
+            "persist the results into this sqlite store (created on "
+            "first use); keyed writes make re-runs no-ops — query it "
+            "back with 'repro query', render it with 'repro report'"
+        ),
     )
 
 
@@ -614,6 +744,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="fault mode, e.g. 1x1, 4x1, 2x2")
     _add_obs_args(p_avf)
     _add_json_arg(p_avf)
+    _add_store_arg(p_avf)
 
     p_ser = subs.add_parser(
         "ser", help="soft error rate over all Table III fault modes"
@@ -629,6 +760,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_inj.add_argument("--groups", type=int, default=10)
     _add_runtime_args(p_inj)
     _add_obs_args(p_inj)
+    _add_store_arg(p_inj)
 
     p_camp = subs.add_parser(
         "campaign",
@@ -644,9 +776,85 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_camp.add_argument("--groups", type=int, default=10)
     _add_runtime_args(p_camp)
     _add_obs_args(p_camp)
+    _add_store_arg(
+        p_camp,
+        "persist campaign summaries and journaled injection verdicts "
+        "here; 'campaign merge --store' folds a merged journal in the "
+        "same way (re-ingest is a no-op)",
+    )
 
     p_mttf = subs.add_parser("mttf", help="Figure 2 tMBF/sMBF MTTF table")
     _add_json_arg(p_mttf)
+    _add_store_arg(p_mttf)
+
+    p_query = subs.add_parser(
+        "query",
+        help="answer AVF questions from a results store — zero simulation",
+    )
+    p_query.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="the sqlite results store to read",
+    )
+    for flag, column in (
+        ("--workload", "workload"), ("--structure", "structure"),
+        ("--scheme", "scheme"), ("--style", "style"), ("--mode", "mode"),
+        ("--ser-model", "ser_model"), ("--source", "source"),
+    ):
+        p_query.add_argument(
+            flag, dest=column, action="append", default=None,
+            metavar=column.upper(),
+            help=f"filter by {column} (repeat for an IN-list)",
+        )
+    for flag in ("--factor", "--seed"):
+        p_query.add_argument(
+            flag, dest=flag[2:], action="append", type=int, default=None,
+            metavar="N", help=f"filter by {flag[2:]} (repeatable)",
+        )
+    p_query.add_argument(
+        "--group-by", metavar="COLS", default=None,
+        help="comma-separated key columns; aggregates --value with --agg "
+             "per group instead of listing rows",
+    )
+    p_query.add_argument(
+        "--value", default="sdc_avf",
+        choices=("due_avf", "sdc_avf", "true_due_avf", "false_due_avf",
+                 "total_avf", "n_groups", "window_cycles"),
+        help="value column for --group-by (default sdc_avf)",
+    )
+    p_query.add_argument(
+        "--agg", default="mean",
+        choices=("mean", "min", "max", "sum", "count"),
+        help="aggregate for --group-by (default mean)",
+    )
+    p_query.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="return at most N rows",
+    )
+    _add_obs_args(p_query)
+    _add_json_arg(p_query)
+
+    p_report = subs.add_parser(
+        "report",
+        help="render a results store as the paper's figures: static HTML "
+             "or a live dashboard service",
+    )
+    p_report.add_argument(
+        "action", choices=("build", "serve"),
+        help="'build' writes byte-stable HTML to --out; 'serve' runs the "
+             "live dashboard (HTML + JSON API) until interrupted",
+    )
+    p_report.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="the sqlite results store to render",
+    )
+    p_report.add_argument(
+        "--out", metavar="DIR", default="report",
+        help="output directory for 'build' (default: report/)",
+    )
+    p_report.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="bind address for 'serve' (default 127.0.0.1:0 = any port)",
+    )
 
     p_stats = subs.add_parser(
         "stats",
@@ -727,6 +935,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             unknown = [b for b in benchmarks if b not in names()]
             if unknown:
                 parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+    store_path = getattr(args, "store", None)
+    if store_path:
+        if os.path.isdir(store_path):
+            parser.error(f"--store {store_path}: is a directory")
+        if args.command in ("query", "report"):
+            # Readers refuse to conjure an empty store: a typo'd path
+            # should fail loudly, not return zero rows.
+            if not os.path.exists(store_path):
+                parser.error(f"--store {store_path}: does not exist")
+        else:
+            parent = os.path.dirname(os.path.abspath(store_path))
+            if not os.path.isdir(parent):
+                parser.error(
+                    f"--store {store_path}: directory {parent} "
+                    "does not exist"
+                )
+    if args.command == "report" and args.listen:
+        try:
+            _parse_endpoint(args.listen)
+        except ValueError as exc:
+            parser.error(f"--listen: {exc}")
+    if args.command == "query" and args.group_by:
+        from .store import FILTER_COLUMNS
+
+        bad = [
+            k for k in args.group_by.split(",")
+            if k and k not in FILTER_COLUMNS
+        ]
+        if bad:
+            parser.error(
+                f"--group-by: unknown columns {', '.join(bad)} "
+                f"(valid: {', '.join(FILTER_COLUMNS)})"
+            )
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
@@ -735,6 +976,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inject": _cmd_inject,
         "campaign": _cmd_campaign,
         "mttf": _cmd_mttf,
+        "query": _cmd_query,
+        "report": _cmd_report,
         "stats": _cmd_stats,
         "lint": _cmd_lint,
     }

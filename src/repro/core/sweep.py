@@ -139,6 +139,20 @@ def _run_grid(
     return points
 
 
+def _sink(
+    points: Sequence[SweepPoint], store, workload: str, seed: int
+) -> None:
+    """Persist sweep points when a store sink was requested."""
+    if store is None:
+        return
+    # Lazy import: sweeps must not pull sqlite machinery in unless a
+    # sink was actually requested.
+    from ..store import ingest_sweep_points, open_store
+
+    with open_store(store) as sink:
+        ingest_sweep_points(sink, points, workload=workload, seed=seed)
+
+
 def _grid(
     structure: str,
     modes: Iterable[FaultMode],
@@ -166,8 +180,17 @@ def sweep_cache_avf(
     layouts: Iterable[Tuple[Interleaving, int]] = ((Interleaving.NONE, 1),),
     domain_bytes: int = 4,
     executor: Optional["Executor"] = None,
+    store=None,
+    workload: str = "unknown",
+    seed: int = 0,
 ) -> List[SweepPoint]:
-    """Measure every (mode, scheme, layout) combination on a cache level."""
+    """Measure every (mode, scheme, layout) combination on a cache level.
+
+    ``store`` (a :class:`~repro.store.ResultStore` or path) persists the
+    measured points under ``workload``/``seed``; the write is keyed by
+    the canonical configuration tuple, so re-running the same sweep into
+    the same store is a no-op.
+    """
 
     def measure(style, factor, scheme, mode):
         return study.cache_avf(
@@ -182,10 +205,12 @@ def sweep_cache_avf(
             style=style, factor=factor, domain_bytes=domain_bytes,
         )
 
-    return _run_grid(
+    points = _run_grid(
         level, _grid(level, list(modes), list(schemes), list(layouts)),
         measure, executor, measure_batch,
     )
+    _sink(points, store, workload, seed)
+    return points
 
 
 def sweep_vgpr_avf(
@@ -197,8 +222,15 @@ def sweep_vgpr_avf(
         (Interleaving.INTRA_THREAD, 1),
     ),
     executor: Optional["Executor"] = None,
+    store=None,
+    workload: str = "unknown",
+    seed: int = 0,
 ) -> List[SweepPoint]:
-    """Measure every (mode, scheme, layout) combination on the VGPR."""
+    """Measure every (mode, scheme, layout) combination on the VGPR.
+
+    ``store``/``workload``/``seed`` persist the points exactly as in
+    :func:`sweep_cache_avf`.
+    """
 
     def measure(style, factor, scheme, mode):
         return study.vgpr_avf(mode, scheme, style=style, factor=factor)
@@ -211,10 +243,12 @@ def sweep_vgpr_avf(
         ]
         return study.vgpr_avf_batch(configs, style=style, factor=factor)
 
-    return _run_grid(
+    points = _run_grid(
         "vgpr", _grid("vgpr", list(modes), list(schemes), list(layouts)),
         measure, executor, measure_batch,
     )
+    _sink(points, store, workload, seed)
+    return points
 
 
 def tabulate(

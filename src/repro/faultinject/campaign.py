@@ -383,6 +383,7 @@ def run_campaign(
     progress: Union[bool, str] = False,
     chaos: Optional[ChaosPolicy] = None,
     fabric=None,
+    store=None,
 ) -> BenchmarkCampaign:
     """The Table II procedure for one benchmark.
 
@@ -409,6 +410,13 @@ def run_campaign(
     processes: lease-based assignment, replicated shard journals, and
     graceful demotion to local execution if the fleet dies.  ``jobs``
     is ignored in fabric mode; the same journal resumes either mode.
+
+    ``store`` (a :class:`~repro.store.ResultStore` or a path to one)
+    persists the finished campaign: the Table II summary lands in the
+    ``campaigns`` table and, when a ``journal`` was used, every journaled
+    injection verdict lands in ``injections`` keyed by record identity —
+    so re-running a resumed campaign (or re-ingesting the same journal
+    through ``repro campaign merge --store``) adds nothing twice.
     """
     if benchmark not in REGISTRY:
         raise KeyError(f"unknown benchmark {benchmark!r}")
@@ -479,6 +487,17 @@ def run_campaign(
                 tallies[m][1] += 1
         for m in modes:
             out.multibit[m] = tuple(tallies[m])
+    if store is not None:
+        # Lazy import: campaigns must not drag sqlite machinery in
+        # unless a sink was actually requested.
+        from ..store import ingest_campaign, ingest_journal, open_store
+
+        with open_store(store) as sink:
+            ingest_campaign(sink, out, seed=seed, n_cus=n_cus)
+            if journal is not None:
+                path = journal.path if isinstance(journal, Journal) \
+                    else journal
+                ingest_journal(sink, path, seed=seed)
     return out
 
 

@@ -1,0 +1,211 @@
+"""Live HTML report service over a results store.
+
+A tiny stdlib HTTP server (same idiom as the fabric coordinator RPC
+server: :class:`ThreadingHTTPServer`, daemon threads, silent handler)
+that renders the static report page on demand plus a small JSON API:
+
+* ``GET /`` — the full HTML dashboard (same bytes as ``report build``)
+* ``GET /healthz`` — liveness probe
+* ``GET /api/summary`` — store row counts
+* ``GET /api/query?workload=...&structure=...`` — filtered AVF rows;
+  optional ``group_by=scheme,style`` + ``value=``/``agg=`` aggregate
+* ``GET /api/mttf`` — stored Figure-2 rows
+
+Each request opens a fresh read-only-in-spirit :class:`ResultStore`
+handle, so the page always reflects the latest ingested results while
+campaigns keep writing through WAL — this is what makes the dashboard
+"live" without any push machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..store import FILTER_COLUMNS, ResultStore, VALUE_COLUMNS
+from .html import render_index
+
+__all__ = ["ReportService"]
+
+#: filter columns holding integers (query params arrive as strings)
+_INT_COLUMNS = frozenset(("factor", "seed"))
+
+
+def _parse_filters(query: str) -> Tuple[Dict[str, Any], Dict[str, str]]:
+    """(store filters, control params) from a raw query string.
+
+    Repeated parameters become IN-lists; unknown names raise KeyError so
+    a typo'd dashboard URL fails with 400, not an empty chart.
+    """
+    filters: Dict[str, Any] = {}
+    control: Dict[str, str] = {}
+    for key, values in parse_qs(query, keep_blank_values=True).items():
+        if key in ("group_by", "value", "agg", "limit", "order_by"):
+            control[key] = values[-1]
+            continue
+        if key not in FILTER_COLUMNS:
+            raise KeyError(f"unknown query parameter {key!r}")
+        if key in _INT_COLUMNS:
+            parsed: Any = [int(v) for v in values]
+        else:
+            parsed = list(values)
+        filters[key] = parsed[0] if len(parsed) == 1 else parsed
+    return filters, control
+
+
+class _ReportHandler(BaseHTTPRequestHandler):
+    """One dashboard request; the bound subclass carries ``service``."""
+
+    timeout = 30.0
+    protocol_version = "HTTP/1.1"
+    service: "ReportService"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = urlsplit(self.path).path
+        query = urlsplit(self.path).query
+        try:
+            if path == "/healthz":
+                self._reply(200, b"ok\n", "text/plain; charset=utf-8")
+            elif path == "/":
+                with self.service.open_store() as store:
+                    page = render_index(store).encode("utf-8")
+                self._reply(200, page, "text/html; charset=utf-8")
+            elif path == "/api/summary":
+                with self.service.open_store() as store:
+                    self._reply_json(200, store.summary())
+            elif path == "/api/mttf":
+                with self.service.open_store() as store:
+                    self._reply_json(200, {"rows": store.mttf_rows()})
+            elif path == "/api/query":
+                self._handle_query(query)
+            else:
+                self._reply_json(404, {"error": f"no route {path!r}"})
+        except (KeyError, ValueError) as exc:
+            self._reply_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _handle_query(self, query: str) -> None:
+        filters, control = _parse_filters(query)
+        limit = int(control["limit"]) if "limit" in control else None
+        order_by = control.get("order_by")
+        with self.service.open_store() as store:
+            result = store.query(
+                order_by=order_by, limit=limit, **filters
+            )
+            if "group_by" in control:
+                keys = tuple(
+                    k for k in control["group_by"].split(",") if k
+                )
+                value = control.get("value", "sdc_avf")
+                if value not in VALUE_COLUMNS:
+                    raise KeyError(f"unknown value column {value!r}")
+                grouped = result.group_by(
+                    keys, value=value, agg=control.get("agg", "mean")
+                )
+                payload: Dict[str, Any] = {
+                    "groups": [
+                        {"key": list(k), "value": v}
+                        for k, v in grouped.items()
+                    ],
+                    "value": value,
+                    "agg": control.get("agg", "mean"),
+                }
+            else:
+                payload = {"rows": result.to_dicts(), "count": len(result)}
+        self._reply_json(200, payload)
+
+    def _reply_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._reply(status, body, "application/json")
+
+    def _reply(self, status: int, body: bytes, ctype: str) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionError, OSError):
+            pass  # client went away mid-reply; nothing to salvage
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # keep request noise out of CLI output
+
+
+class ReportService:
+    """Serve the live dashboard for one store file.
+
+    >>> with ReportService("results.sqlite") as svc:
+    ...     print(svc.endpoint)   # http://127.0.0.1:<port>
+
+    ``port=0`` binds an ephemeral port (the default, test-friendly).
+    The server runs in a daemon thread; ``stop()`` (or the context
+    manager) shuts it down cleanly.
+    """
+
+    def __init__(
+        self,
+        store_path: Any,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.store_path = Path(store_path)
+        self._host = host
+        self._port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def open_store(self) -> ResultStore:
+        """A fresh store handle for one request (WAL readers don't block
+        writers, so campaigns can keep ingesting while we serve)."""
+        return ResultStore(self.store_path)
+
+    def start(self) -> None:
+        if self._server is not None:
+            return
+        handler = type(
+            "_BoundReportHandler", (_ReportHandler,), {"service": self}
+        )
+        self._server = ThreadingHTTPServer(
+            (self._host, self._port), handler
+        )
+        self._server.daemon_threads = True
+        self._port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-report",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._host, self._port)
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    def __enter__(self) -> "ReportService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

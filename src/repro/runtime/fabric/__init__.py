@@ -24,6 +24,7 @@ from .tasks import (
     register_entrypoint,
     resolve,
     stub_job,
+    sweep_grid_job,
     sweep_job,
 )
 from .worker import FabricWorker, run_worker
@@ -47,5 +48,6 @@ __all__ = [
     "resolve",
     "run_worker",
     "stub_job",
+    "sweep_grid_job",
     "sweep_job",
 ]

@@ -511,9 +511,16 @@ class FabricExecutor:
         progress: Union[bool, str] = False,
         drain_signals: bool = True,
         stop_after: Optional[int] = None,
+        store: Optional[Any] = None,
     ) -> None:
         self.coordinator = coordinator
         self.job = job
+        #: optional results-store sink (a ``repro.store.ResultStore`` or a
+        #: path to one): after shard commit the canonical journal is
+        #: ingested, so every fabric round lands in the store the moment
+        #: it finalizes.  Requires a journal — without one there is no
+        #: durable record to fold in, and the sink is skipped.
+        self.store = store
         #: driver-side task function for demoted (local-fallback) tasks,
         #: taking the *original* payload; when None, the job's entrypoint
         #: is built locally and fed the JSON payload instead
@@ -619,6 +626,7 @@ class FabricExecutor:
                     self._meter = None
         if self._draining and len(results) < len(tasks):
             self._commit_shards()
+            self._ingest_store()
             if self.journal is not None:
                 self.journal.close()
             get_metrics().counter("runtime.drains").inc()
@@ -627,6 +635,7 @@ class FabricExecutor:
                 self.journal.path if self.journal else None,
             )
         self._commit_shards()
+        self._ingest_store()
         return results
 
     def close(self) -> None:
@@ -826,3 +835,20 @@ class FabricExecutor:
         if self.journal is None or not self.coordinator.shard_dir:
             return
         merge_shards(self.journal, self.coordinator.shard_dir)
+
+    def _ingest_store(self) -> None:
+        """Fold the committed canonical journal into the results store.
+
+        Runs after every shard commit (normal completion and drain), so
+        the store tracks the journal's durable state; the ingest is keyed
+        by record identity and is therefore a no-op for anything a prior
+        commit already folded in.
+        """
+        if self.store is None or self.journal is None:
+            return
+        # Lazy import: the fabric must stay importable on worker nodes
+        # that never touch the results store.
+        from ...store import ingest_journal, open_store
+
+        with open_store(self.store) as store:
+            ingest_journal(store, self.journal.path)

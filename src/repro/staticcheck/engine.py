@@ -70,6 +70,8 @@ def classify_scopes(relpath: str) -> Set[str]:
         scopes.update(("runtime", "persistence"))
     if "obs" in parts:
         scopes.update(("obs", "persistence"))
+    if "store" in parts:
+        scopes.update(("store", "persistence"))
     if rel.endswith("core/serialize.py"):
         scopes.add("persistence")
     if rel.endswith("runtime/executor.py"):

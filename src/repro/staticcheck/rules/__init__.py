@@ -6,11 +6,18 @@ one of these modules (or a new module imported here).  See
 ``docs/static-analysis.md`` for the authoring walkthrough.
 """
 
-from . import determinism, forksafety, numpy_hygiene, obs_discipline
+from . import (
+    determinism,
+    forksafety,
+    numpy_hygiene,
+    obs_discipline,
+    persistence_sql,
+)
 
 __all__ = [
     "determinism",
     "forksafety",
     "numpy_hygiene",
     "obs_discipline",
+    "persistence_sql",
 ]

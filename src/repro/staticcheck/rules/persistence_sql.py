@@ -1,0 +1,95 @@
+"""Persistence-layer SQL rules (family P).
+
+The results store's injection-safety and idempotence guarantees rest on
+one discipline: *values never enter SQL text*.  Statements are constant
+strings (or assembled by the store's own identifier-whitelisting
+builders) and every value travels as a ``?`` parameter.  P501 pins that
+invariant at the call sites where it can be broken — ``execute()`` and
+friends — so a future "quick fix" that f-strings a workload name into a
+WHERE clause fails CI instead of shipping a SQL-injectable, cache-
+busting query path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding, Module, Rule
+from ..registry import register
+
+__all__ = ["InterpolatedSql"]
+
+#: sqlite3 statement sinks (method names on Connection/Cursor)
+_EXECUTE_METHODS = frozenset(("execute", "executemany", "executescript"))
+
+
+def _interpolation(node: ast.expr) -> Optional[str]:
+    """How ``node`` builds a string dynamically, or None if it does not.
+
+    Constants, plain names and attribute/subscript reads are fine — the
+    query builders (:func:`repro.store.query.build_where`) hand finished
+    statements around as variables.  What is not fine, at the statement
+    argument position, is assembling text *in place* from runtime
+    values.
+    """
+    if isinstance(node, ast.JoinedStr):
+        return "an f-string"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Mod):
+            return "%-interpolation"
+        if isinstance(node.op, ast.Add):
+            return "string concatenation"
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "format":
+            return "str.format()"
+        if isinstance(func, ast.Attribute) and func.attr == "join":
+            return "str.join()"
+    return None
+
+
+@register
+class InterpolatedSql(Rule):
+    code = "P501"
+    slug = "interpolated-sql"
+    family = "persistence"
+    summary = (
+        "SQL statement assembled inline (f-string/concat/%/format/join) "
+        "at an execute() call in the results store"
+    )
+    rationale = (
+        "Store statements are parameterized: constant SQL (or the "
+        "store's identifier-whitelisting builders) plus '?' "
+        "placeholders for every value.  Interpolating values into the "
+        "statement text at an execute() site is a SQL injection "
+        "surface, breaks sqlite's statement cache, and silently skips "
+        "the type adaptation that keeps the canonical-key UNIQUE "
+        "constraints honest.  Build the text in a named builder that "
+        "only ever splices whitelisted column names, pass it as a "
+        "variable, and ship the values separately."
+    )
+    scope = "store"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _EXECUTE_METHODS
+            ):
+                continue
+            if not node.args:
+                continue
+            how = _interpolation(node.args[0])
+            if how is None:
+                continue
+            yield module.finding(
+                node, self.code,
+                f".{func.attr}() builds its SQL with {how}; use a "
+                "constant statement (or a whitelisting builder bound to "
+                "a variable) with '?' parameters",
+            )

@@ -1,0 +1,36 @@
+"""``repro.store`` — the persistent results store.
+
+Turns every "compute then print" entry point into "compute once, serve
+forever": campaigns, sweeps and engine batches land in one sqlite file
+(WAL mode, versioned schema, idempotent keyed writes) and are answered
+back out through :meth:`ResultStore.query` with zero simulation work.
+``repro query`` / ``repro report`` are the CLI faces of this package;
+see docs/results-store.md for the schema and the keying rules.
+"""
+
+from .db import ResultStore, engine_version, open_store
+from .ingest import (
+    ingest_campaign,
+    ingest_journal,
+    ingest_results,
+    ingest_sweep_points,
+)
+from .query import AvfRow, FILTER_COLUMNS, QueryResult, VALUE_COLUMNS
+from .schema import MIGRATIONS, SCHEMA_VERSION, migrate
+
+__all__ = [
+    "AvfRow",
+    "FILTER_COLUMNS",
+    "MIGRATIONS",
+    "QueryResult",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "VALUE_COLUMNS",
+    "engine_version",
+    "ingest_campaign",
+    "ingest_journal",
+    "ingest_results",
+    "ingest_sweep_points",
+    "migrate",
+    "open_store",
+]

@@ -1,0 +1,162 @@
+"""Results-store schema: versioned migrations over stdlib sqlite3.
+
+The store is keyed by the canonical configuration tuple the whole
+reproduction revolves around::
+
+    (workload, structure, protection scheme, layout/interleaving,
+     fault mode geometry, SER model, seed, engine version)
+
+Every table encodes idempotence in its DDL: the AVF table carries a
+UNIQUE constraint over that tuple, the injection table is keyed by
+journal record identity ``(source, task)``, and all writers go through
+``INSERT OR IGNORE`` inside an immediate transaction — re-ingesting any
+artifact (a journal, a merged fabric shard set, a batch of
+:class:`~repro.core.avf.MbAvfResult`) changes no rows.
+
+Migrations are append-only: ``MIGRATIONS[i]`` upgrades a version-``i``
+database to version ``i + 1``, and the current version lives in the
+``meta`` table so two processes racing to open the same file apply the
+upgrade exactly once (the loser's ``BEGIN IMMEDIATE`` re-reads the
+version and finds nothing left to do).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Tuple
+
+__all__ = ["SCHEMA_VERSION", "MIGRATIONS", "migrate", "schema_version"]
+
+_V1 = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS avf_results (
+    workload        TEXT NOT NULL,
+    structure       TEXT NOT NULL,
+    scheme          TEXT NOT NULL,
+    style           TEXT NOT NULL,
+    factor          INTEGER NOT NULL,
+    mode            TEXT NOT NULL,
+    ser_model       TEXT NOT NULL DEFAULT 'none',
+    seed            INTEGER NOT NULL DEFAULT 0,
+    engine_version  TEXT NOT NULL,
+    due_avf         REAL NOT NULL,
+    sdc_avf         REAL NOT NULL,
+    true_due_avf    REAL NOT NULL,
+    false_due_avf   REAL NOT NULL,
+    total_avf       REAL NOT NULL,
+    n_groups        INTEGER,
+    window_cycles   INTEGER,
+    source          TEXT,
+    UNIQUE (workload, structure, scheme, style, factor, mode,
+            ser_model, seed, engine_version)
+);
+CREATE TABLE IF NOT EXISTS injections (
+    source    TEXT NOT NULL,
+    task      TEXT NOT NULL,
+    benchmark TEXT NOT NULL,
+    outcome   TEXT NOT NULL,
+    verdict   TEXT,
+    attempts  INTEGER NOT NULL DEFAULT 1,
+    duration  REAL NOT NULL DEFAULT 0.0,
+    node      TEXT,
+    wf        INTEGER,
+    reg       INTEGER,
+    lane      INTEGER,
+    cycle     INTEGER,
+    bits      TEXT,
+    PRIMARY KEY (source, task)
+);
+CREATE TABLE IF NOT EXISTS mttf_rows (
+    cache_bytes         INTEGER NOT NULL,
+    raw_fit_per_mbit    REAL NOT NULL,
+    engine_version      TEXT NOT NULL,
+    mttf_smbf_01pct     REAL NOT NULL,
+    mttf_smbf_5pct      REAL NOT NULL,
+    mttf_tmbf_unbounded REAL NOT NULL,
+    mttf_tmbf_100yr     REAL NOT NULL,
+    PRIMARY KEY (cache_bytes, raw_fit_per_mbit, engine_version)
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    benchmark       TEXT NOT NULL,
+    seed            INTEGER NOT NULL,
+    n_cus           INTEGER NOT NULL,
+    engine_version  TEXT NOT NULL,
+    n_single        INTEGER NOT NULL,
+    sdc_ace_bits    INTEGER NOT NULL,
+    interference    INTEGER NOT NULL,
+    model_sdc_avf   REAL,
+    single_outcomes TEXT NOT NULL,
+    multibit        TEXT NOT NULL,
+    failures        TEXT NOT NULL,
+    PRIMARY KEY (benchmark, seed, n_cus, engine_version)
+);
+CREATE INDEX IF NOT EXISTS idx_avf_workload
+    ON avf_results (workload, structure);
+CREATE INDEX IF NOT EXISTS idx_injections_benchmark
+    ON injections (benchmark);
+"""
+
+#: ``MIGRATIONS[i]`` is the SQL script lifting schema version i to i + 1.
+MIGRATIONS: Tuple[str, ...] = (_V1,)
+
+#: the schema version this build of the code reads and writes
+SCHEMA_VERSION = len(MIGRATIONS)
+
+_GET_VERSION = "SELECT value FROM meta WHERE key = 'schema_version'"
+_SET_VERSION = (
+    "INSERT INTO meta (key, value) VALUES ('schema_version', ?) "
+    "ON CONFLICT (key) DO UPDATE SET value = excluded.value"
+)
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The on-disk schema version (0 = empty database)."""
+    row = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' "
+        "AND name = 'meta'"
+    ).fetchone()
+    if row is None:
+        return 0
+    got = conn.execute(_GET_VERSION).fetchone()
+    return int(got[0]) if got is not None else 0
+
+
+def migrate(conn: sqlite3.Connection) -> int:
+    """Apply every pending migration; returns the resulting version.
+
+    Safe under concurrency: the version check re-runs inside one
+    ``BEGIN IMMEDIATE`` transaction per step, so a process that lost the
+    race sees the bumped version and skips the step.  A database written
+    by a *newer* build is refused rather than misread.
+    """
+    version = schema_version(conn)
+    if version > SCHEMA_VERSION:
+        raise RuntimeError(
+            f"results store is schema version {version}, but this build "
+            f"only understands <= {SCHEMA_VERSION}; upgrade the code"
+        )
+    while version < SCHEMA_VERSION:
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            current = schema_version(conn)
+            if current == version:
+                for statement in _statements(MIGRATIONS[version]):
+                    conn.execute(statement)
+                conn.execute(_SET_VERSION, (str(version + 1),))
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        version = schema_version(conn)
+    return version
+
+
+def _statements(script: str):
+    """Split a DDL script on ';' (none of our DDL embeds semicolons)."""
+    for chunk in script.split(";"):
+        statement = chunk.strip()
+        if statement:
+            yield statement

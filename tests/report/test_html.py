@@ -1,0 +1,90 @@
+"""Static report rendering: byte stability and section content."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.report import build_report, render_index
+from repro.store import ResultStore
+
+from ..store.conftest import FakeCampaign, avf_row
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "r.sqlite") as s:
+        yield s
+
+
+def _seed(store):
+    store.put_avf_rows(
+        [
+            avf_row(workload="matmul", structure="vgpr", scheme="parity",
+                    style="inter_thread", factor=2, due_avf=0.4,
+                    sdc_avf=0.1),
+            avf_row(workload="matmul", structure="vgpr", scheme="none",
+                    style="none", factor=1, due_avf=0.0, sdc_avf=0.5),
+            avf_row(workload="transpose", structure="l2", scheme="sec-ded",
+                    due_avf=0.2, sdc_avf=0.01),
+        ]
+    )
+    store.put_mttf_rows(
+        [
+            SimpleNamespace(
+                raw_fit_per_mbit=100.0, mttf_smbf_01pct=1.9e5,
+                mttf_smbf_5pct=3.7e3, mttf_tmbf_unbounded=9.6e9,
+                mttf_tmbf_100yr=8.4e8,
+            )
+        ],
+        cache_bytes=32 << 20,
+    )
+    store.put_campaign(FakeCampaign(), seed=0, n_cus=2)
+
+
+class TestRenderIndex:
+    def test_empty_store_renders_placeholders(self, store):
+        html = render_index(store)
+        assert "<!DOCTYPE html>" in html
+        assert "No stored MTTF rows" in html
+        assert "No stored VGPR sweeps" in html
+        assert "avf_results table is empty" in html
+
+    def test_sections_render_from_store_contents(self, store):
+        _seed(store)
+        html = render_index(store)
+        # Figure 2: cache label + fixed-precision MTTF numbers
+        assert "32MB" in html and "1.900e+05" in html
+        # Sec VIII: protection designs with layout labels, plus the SVG
+        assert "parity inter_thread x2" in html
+        assert "<svg" in html and "SDC" in html
+        # full AVF table and Table II campaign summary
+        assert "transpose" in html and "sec-ded" in html
+        assert "vectoradd" in html
+
+    def test_html_escapes_stored_strings(self, store):
+        store.put_avf_rows([avf_row(workload="<script>alert(1)</script>")])
+        html = render_index(store)
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestBuildReport:
+    def test_build_is_byte_stable(self, store, tmp_path):
+        _seed(store)
+        first = build_report(store, tmp_path / "out1")
+        second = build_report(store, tmp_path / "out2")
+        assert first.read_bytes() == second.read_bytes()
+        # rebuilding in place is also stable
+        third = build_report(store, tmp_path / "out1")
+        assert third == first
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_build_tracks_new_rows(self, store, tmp_path):
+        before = build_report(store, tmp_path / "a").read_bytes()
+        _seed(store)
+        after = build_report(store, tmp_path / "a").read_bytes()
+        assert before != after
+
+    def test_no_tmp_residue(self, store, tmp_path):
+        build_report(store, tmp_path / "out")
+        assert list((tmp_path / "out").glob("*.tmp")) == []

@@ -1,0 +1,136 @@
+"""The live dashboard service: routes, liveness, error discipline."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.report import ReportService, build_report
+from repro.store import ResultStore
+
+from ..store.conftest import avf_row
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "r.sqlite"
+    with ResultStore(path) as store:
+        store.put_avf_rows(
+            [
+                avf_row(workload="matmul", structure="vgpr", sdc_avf=0.1),
+                avf_row(workload="transpose", structure="vgpr",
+                        mode="4x1", sdc_avf=0.3),
+            ]
+        )
+    return path
+
+
+@pytest.fixture
+def service(store_path):
+    with ReportService(store_path) as svc:
+        yield svc
+
+
+def _get(service, path):
+    with urllib.request.urlopen(service.endpoint + path, timeout=10) as r:
+        return r.status, r.read()
+
+
+def _get_json(service, path):
+    status, body = _get(service, path)
+    return status, json.loads(body)
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        assert _get(service, "/healthz") == (200, b"ok\n")
+
+    def test_index_matches_static_build(self, service, store_path,
+                                        tmp_path):
+        status, live = _get(service, "/")
+        assert status == 200
+        with ResultStore(store_path) as store:
+            static = build_report(store, tmp_path / "out")
+        assert live == static.read_bytes()
+
+    def test_summary(self, service):
+        status, payload = _get_json(service, "/api/summary")
+        assert status == 200
+        assert payload["avf_results"] == 2
+        assert payload["workloads"] == ["matmul", "transpose"]
+
+    def test_query_rows_and_filters(self, service):
+        _, payload = _get_json(service, "/api/query")
+        assert payload["count"] == 2
+        _, payload = _get_json(service, "/api/query?workload=matmul")
+        assert payload["count"] == 1
+        assert payload["rows"][0]["sdc_avf"] == 0.1
+
+    def test_query_repeated_param_is_in_list(self, service):
+        _, payload = _get_json(
+            service, "/api/query?workload=matmul&workload=transpose"
+        )
+        assert payload["count"] == 2
+
+    def test_query_group_by(self, service):
+        _, payload = _get_json(
+            service,
+            "/api/query?group_by=workload&value=sdc_avf&agg=mean",
+        )
+        groups = {tuple(g["key"]): g["value"] for g in payload["groups"]}
+        assert groups == {
+            ("matmul",): pytest.approx(0.1),
+            ("transpose",): pytest.approx(0.3),
+        }
+
+    def test_mttf_empty(self, service):
+        _, payload = _get_json(service, "/api/mttf")
+        assert payload == {"rows": []}
+
+
+class TestErrors:
+    def test_unknown_route_is_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(service, "/nope")
+        assert err.value.code == 404
+
+    def test_unknown_query_param_is_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(service, "/api/query?benchmark=matmul")
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert "unknown query parameter" in body["error"]
+
+    def test_bad_int_filter_is_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(service, "/api/query?seed=banana")
+        assert err.value.code == 400
+
+
+class TestLiveness:
+    def test_dashboard_reflects_rows_ingested_after_start(
+        self, service, store_path
+    ):
+        """The 'live' in live dashboard: a campaign writing through WAL
+        shows up on the next request, no restart or push needed."""
+        _, before = _get_json(service, "/api/summary")
+        assert before["avf_results"] == 2
+        with ResultStore(store_path) as store:
+            store.put_avf_rows([avf_row(workload="stencil")])
+        _, after = _get_json(service, "/api/summary")
+        assert after["avf_results"] == 3
+        assert "stencil" in after["workloads"]
+
+    def test_stop_is_idempotent_and_restartable(self, store_path):
+        svc = ReportService(store_path)
+        svc.start()
+        port = svc.address[1]
+        assert port != 0
+        svc.stop()
+        svc.stop()  # second stop: no-op
+        svc.start()
+        try:
+            assert _get(svc, "/healthz")[0] == 200
+        finally:
+            svc.stop()

@@ -1,0 +1,23 @@
+"""P501 fixture: SQL assembled inline at execute() call sites.
+
+Lives under a ``store/`` directory so path classification gives it the
+``store`` scope (plus ``persistence``), exactly like the real package.
+"""
+
+
+def bad(conn, user, table, columns):
+    conn.execute(f"SELECT * FROM results WHERE user = '{user}'")  # f-string
+    conn.execute("DELETE FROM " + table)  # concatenation
+    conn.execute("SELECT * FROM results WHERE id = %s" % user)  # %-interp
+    conn.execute("SELECT * FROM {}".format(table))  # str.format
+    conn.executemany(f"INSERT INTO {table} VALUES (?)", [(1,)])
+    conn.executescript("DROP TABLE " + table)
+    conn.execute(" ".join(["SELECT", columns, "FROM results"]))  # join
+
+
+def good(conn, rows, where_clause, params):
+    conn.execute("SELECT * FROM results WHERE user = ?", ("u",))
+    sql = "SELECT * FROM results" + where_clause  # builder-style variable
+    conn.execute(sql, params)
+    conn.executemany("INSERT INTO results VALUES (?)", rows)
+    conn.executescript("PRAGMA journal_mode = WAL")

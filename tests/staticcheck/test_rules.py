@@ -165,6 +165,38 @@ class TestObsDisciplineRules:
         ]
 
 
+class TestPersistenceSqlRules:
+    def test_p501_interpolated_sql(self, fixture_findings):
+        assert findings_for(fixture_findings, "P501") == [
+            ("store/bad_sql.py", 9),   # f-string
+            ("store/bad_sql.py", 10),  # concatenation
+            ("store/bad_sql.py", 11),  # %-interpolation
+            ("store/bad_sql.py", 12),  # str.format
+            ("store/bad_sql.py", 13),  # executemany f-string
+            ("store/bad_sql.py", 14),  # executescript concat
+            ("store/bad_sql.py", 15),  # str.join
+        ]
+
+    def test_p501_parameterized_and_builder_not_flagged(
+        self, fixture_findings
+    ):
+        # good(): constant SQL with '?' params, a builder-produced
+        # variable, and a constant executescript — none flagged.
+        flagged = {
+            line for path, line in findings_for(fixture_findings, "P501")
+            if path == "store/bad_sql.py"
+        }
+        assert flagged & {19, 20, 21, 22, 23} == set()
+
+    def test_p501_store_scope_only(self, fixture_findings):
+        # The same execute() patterns outside a store/ path carry no
+        # store scope and are not P501's business.
+        assert all(
+            f.path.startswith("store/")
+            for f in fixture_findings if f.rule == "P501"
+        )
+
+
 class TestEngineBehaviour:
     def test_parse_error_becomes_e001(self, fixture_result):
         assert fixture_result.parse_errors == ["broken_syntax.py"]
@@ -186,11 +218,12 @@ class TestEngineBehaviour:
         assert lines == [9]
 
     def test_total_finding_count(self, fixture_result):
-        assert len(fixture_result.findings) == 41
+        assert len(fixture_result.findings) == 48
         assert fixture_result.by_rule() == {
             "D101": 6, "D102": 5, "D103": 4, "D104": 3, "E001": 1,
             "F301": 3, "F302": 2, "F303": 5, "N201": 2, "N202": 2,
             "N203": 2, "N204": 1, "O401": 2, "O402": 1, "O403": 2,
+            "P501": 7,
         }
 
     def test_findings_are_sorted_and_carry_snippets(self, fixture_findings):

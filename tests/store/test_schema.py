@@ -1,0 +1,104 @@
+"""Schema migrations: fresh create, reopen, concurrency, refusal."""
+
+import sqlite3
+
+import pytest
+
+from repro.store import ResultStore
+from repro.store.schema import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    migrate,
+    schema_version,
+)
+
+from .conftest import avf_row
+
+
+def _tables(conn):
+    return {
+        r[0] for r in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+    }
+
+
+class TestMigrate:
+    def test_empty_database_is_version_zero(self):
+        conn = sqlite3.connect(":memory:")
+        assert schema_version(conn) == 0
+
+    def test_fresh_migrate_reaches_current_version(self):
+        conn = sqlite3.connect(":memory:")
+        assert migrate(conn) == SCHEMA_VERSION
+        assert schema_version(conn) == SCHEMA_VERSION
+        assert {"meta", "avf_results", "injections", "mttf_rows",
+                "campaigns"} <= _tables(conn)
+
+    def test_migrate_is_idempotent(self):
+        conn = sqlite3.connect(":memory:")
+        migrate(conn)
+        assert migrate(conn) == SCHEMA_VERSION
+
+    def test_newer_schema_is_refused(self, store_path):
+        # A database stamped by a future build must not be misread.
+        ResultStore(store_path).close()
+        conn = sqlite3.connect(store_path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(RuntimeError, match="upgrade the code"):
+            ResultStore(store_path)
+
+    def test_migrations_are_append_only_and_versioned(self):
+        assert SCHEMA_VERSION == len(MIGRATIONS)
+        assert SCHEMA_VERSION >= 1
+
+
+class TestOpen:
+    def test_directory_path_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="directory"):
+            ResultStore(tmp_path)
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "results.sqlite"
+        with ResultStore(path) as store:
+            assert store.integrity_check() == "ok"
+        assert path.exists()
+
+    def test_wal_mode_is_active(self, store):
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert str(mode).lower() == "wal"
+
+    def test_rows_survive_reopen(self, store_path):
+        with ResultStore(store_path) as store:
+            store.put_avf_rows([avf_row()])
+        with ResultStore(store_path) as store:
+            assert len(store.query()) == 1
+            assert store.schema_version == SCHEMA_VERSION
+
+    def test_racing_opens_migrate_once(self, store_path):
+        # Two handles on the same fresh file: the loser of the migration
+        # race sees the bumped version and does nothing.
+        a = ResultStore(store_path)
+        b = ResultStore(store_path)
+        try:
+            a.put_avf_rows([avf_row()])
+            assert len(b.query()) == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_summary_counts(self, store):
+        store.put_avf_rows(
+            [avf_row(), avf_row(workload="transpose", structure="vgpr")]
+        )
+        info = store.summary()
+        assert info["avf_results"] == 2
+        assert info["injections"] == 0
+        assert info["workloads"] == ["matmul", "transpose"]
+        assert info["structures"] == ["l1", "vgpr"]
+        assert info["schema_version"] == SCHEMA_VERSION

@@ -1,0 +1,86 @@
+"""Acceptance: ``repro query`` and ``repro report build`` answer from
+the store alone — zero simulation, zero AVF-engine work.
+
+The proof is observational: with tracing enabled, the only spans a
+reader emits are store spans ("query"); none of the engine or campaign
+spans ("integrate", "golden", "model", "singles", "multibit") ever
+fire, and no ``avf.*`` / ``campaign.*`` counters move.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+from .conftest import avf_row
+
+#: spans only simulation/AVF-engine work can emit
+_ENGINE_SPANS = frozenset(
+    ("integrate", "golden", "model", "singles", "multibit", "sweep")
+)
+
+
+@pytest.fixture
+def seeded_path(store, store_path):
+    store.put_avf_rows(
+        [avf_row(), avf_row(workload="transpose", sdc_avf=0.5)]
+    )
+    return store_path
+
+
+@pytest.fixture
+def traced():
+    registry, tracer = obs.enable()
+    try:
+        yield registry, tracer
+    finally:
+        obs.disable()
+
+
+def _engine_activity(registry, tracer):
+    spans = {e.name for e in tracer.events} & _ENGINE_SPANS
+    counters = {
+        name for name in registry.snapshot()["counters"]
+        if name.startswith(("avf.", "campaign.", "sim."))
+    }
+    return spans | counters
+
+
+class TestQueryIsSimulationFree:
+    def test_rows(self, seeded_path, traced, capsys):
+        registry, tracer = traced
+        assert main(["query", "--store", str(seeded_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert _engine_activity(registry, tracer) == set()
+        assert "query" in {e.name for e in tracer.events}
+
+    def test_group_by(self, seeded_path, traced, capsys):
+        registry, tracer = traced
+        assert main(
+            ["query", "--store", str(seeded_path),
+             "--group-by", "workload", "--agg", "mean", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["groups"]) == 2
+        assert _engine_activity(registry, tracer) == set()
+
+    def test_store_counters_do_move(self, seeded_path, traced, capsys):
+        registry, tracer = traced
+        main(["query", "--store", str(seeded_path), "--json"])
+        capsys.readouterr()
+        assert registry.snapshot()["counters"].get("store.queries", 0) >= 1
+
+
+class TestReportBuildIsSimulationFree:
+    def test_build(self, seeded_path, traced, tmp_path, capsys):
+        registry, tracer = traced
+        out = tmp_path / "report"
+        assert main(
+            ["report", "build", "--store", str(seeded_path),
+             "--out", str(out)]
+        ) == 0
+        assert (out / "index.html").exists()
+        assert _engine_activity(registry, tracer) == set()
