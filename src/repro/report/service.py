@@ -5,7 +5,9 @@ server: :class:`ThreadingHTTPServer`, daemon threads, silent handler)
 that renders the static report page on demand plus a small JSON API:
 
 * ``GET /`` — the full HTML dashboard (same bytes as ``report build``)
-* ``GET /healthz`` — liveness probe
+* ``GET /healthz`` — liveness probe (always 200 while the process runs)
+* ``GET /readyz`` — readiness probe: 200 only when the store opens and
+  passes a ``PRAGMA quick_check``; 503 with the breaker state otherwise
 * ``GET /api/summary`` — store row counts
 * ``GET /api/query?workload=...&structure=...`` — filtered AVF rows;
   optional ``group_by=scheme,style`` + ``value=``/``agg=`` aggregate
@@ -15,24 +17,68 @@ Each request opens a fresh read-only-in-spirit :class:`ResultStore`
 handle, so the page always reflects the latest ingested results while
 campaigns keep writing through WAL — this is what makes the dashboard
 "live" without any push machinery.
+
+The service is hardened against both overload and a sick store
+(docs/resilience.md):
+
+* every route except the probes passes through a
+  :class:`~repro.runtime.guard.ServiceGuard` — bounded concurrency
+  with load shedding (503), optional token-bucket rate limiting (429),
+  both carrying ``Retry-After``;
+* store access is wrapped in a :class:`~repro.runtime.guard.
+  CircuitBreaker` so a corrupt or vanished store file fails fast
+  instead of stacking up threads, and probes flip ``/readyz`` to 503
+  while ``/healthz`` stays 200 (restart the store, not the process);
+* the dashboard degrades gracefully: while the store is unreachable,
+  ``GET /`` serves the last successfully rendered page with a visible
+  staleness banner and an ``X-Repro-Stale: 1`` header rather than a
+  blank error.
 """
 
 from __future__ import annotations
 
 import json
+import sqlite3
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import get_metrics
+from ..runtime.guard import (
+    CircuitBreaker,
+    GuardConfig,
+    GuardRejection,
+    ServiceGuard,
+)
 from ..store import FILTER_COLUMNS, ResultStore, VALUE_COLUMNS
 from .html import render_index
 
-__all__ = ["ReportService"]
+__all__ = ["ReportService", "StoreUnavailable"]
 
 #: filter columns holding integers (query params arrive as strings)
 _INT_COLUMNS = frozenset(("factor", "seed"))
+
+#: banner injected into the cached page while the store is unreachable
+_STALE_BANNER = (
+    b'<div style="background:#7f1d1d;color:#fecaca;padding:0.6rem 1rem;'
+    b'font-weight:600" data-stale="1">'
+    b"Results store unreachable &mdash; showing the last good report. "
+    b"Data below may be stale.</div>"
+)
+
+T = TypeVar("T")
+
+
+class StoreUnavailable(Exception):
+    """The results store cannot be served from right now.
+
+    Raised when the circuit breaker is open (fail fast, no store I/O)
+    or when a store access fails with an infrastructure error.  Routes
+    translate it into a 503 with ``degraded: true``; ``GET /`` falls
+    back to the cached page instead.
+    """
 
 
 def _parse_filters(query: str) -> Tuple[Dict[str, Any], Dict[str, str]]:
@@ -67,33 +113,76 @@ class _ReportHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = urlsplit(self.path).path
         query = urlsplit(self.path).query
+        # Probes bypass admission control: an overloaded-but-alive
+        # service must still answer its supervisor.
+        if path == "/healthz":
+            self._reply(200, b"ok\n", "text/plain; charset=utf-8")
+            return
+        if path == "/readyz":
+            ready, detail = self.service.readiness()
+            self._reply_json(200 if ready else 503, detail)
+            return
+        guard = self.service.guard
         try:
-            if path == "/healthz":
-                self._reply(200, b"ok\n", "text/plain; charset=utf-8")
-            elif path == "/":
-                with self.service.open_store() as store:
-                    page = render_index(store).encode("utf-8")
-                self._reply(200, page, "text/html; charset=utf-8")
-            elif path == "/api/summary":
-                with self.service.open_store() as store:
-                    self._reply_json(200, store.summary())
-            elif path == "/api/mttf":
-                with self.service.open_store() as store:
-                    self._reply_json(200, {"rows": store.mttf_rows()})
-            elif path == "/api/query":
-                self._handle_query(query)
-            else:
-                self._reply_json(404, {"error": f"no route {path!r}"})
+            with guard.admit():
+                self._route(path, query)
+        except GuardRejection as rej:
+            self._reply_json(
+                rej.status, rej.body(), retry_after=rej.retry_after
+            )
+        except StoreUnavailable as exc:
+            self._reply_json(
+                503,
+                {"error": str(exc), "degraded": True},
+                retry_after=guard.config.retry_after,
+            )
         except (KeyError, ValueError) as exc:
             self._reply_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
             self._reply_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
+    def _route(self, path: str, query: str) -> None:
+        if path == "/":
+            self._handle_index()
+        elif path == "/api/summary":
+            payload = self.service.with_store(lambda s: s.summary())
+            self._reply_json(200, payload)
+        elif path == "/api/mttf":
+            rows = self.service.with_store(lambda s: s.mttf_rows())
+            self._reply_json(200, {"rows": rows})
+        elif path == "/api/query":
+            self._handle_query(query)
+        else:
+            self._reply_json(404, {"error": f"no route {path!r}"})
+
+    def _handle_index(self) -> None:
+        try:
+            page = self.service.with_store(
+                lambda s: render_index(s).encode("utf-8")
+            )
+        except StoreUnavailable:
+            stale = self.service.cached_page()
+            if stale is None:
+                raise  # nothing rendered yet; 503 is honest
+            mx = get_metrics()
+            if mx:
+                mx.counter("report.stale_served").inc()
+            self._reply(
+                503, stale, "text/html; charset=utf-8",
+                extra={"X-Repro-Stale": "1",
+                       "Retry-After":
+                       f"{self.service.guard.config.retry_after:g}"},
+            )
+            return
+        self.service.cache_page(page)
+        self._reply(200, page, "text/html; charset=utf-8")
+
     def _handle_query(self, query: str) -> None:
         filters, control = _parse_filters(query)
         limit = int(control["limit"]) if "limit" in control else None
         order_by = control.get("order_by")
-        with self.service.open_store() as store:
+
+        def run(store: ResultStore) -> Dict[str, Any]:
             result = store.query(
                 order_by=order_by, limit=limit, **filters
             )
@@ -107,7 +196,7 @@ class _ReportHandler(BaseHTTPRequestHandler):
                 grouped = result.group_by(
                     keys, value=value, agg=control.get("agg", "mean")
                 )
-                payload: Dict[str, Any] = {
+                return {
                     "groups": [
                         {"key": list(k), "value": v}
                         for k, v in grouped.items()
@@ -115,19 +204,38 @@ class _ReportHandler(BaseHTTPRequestHandler):
                     "value": value,
                     "agg": control.get("agg", "mean"),
                 }
-            else:
-                payload = {"rows": result.to_dicts(), "count": len(result)}
-        self._reply_json(200, payload)
+            return {"rows": result.to_dicts(), "count": len(result)}
 
-    def _reply_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._reply_json(200, self.service.with_store(run))
+
+    def _reply_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._reply(status, body, "application/json")
+        extra = (
+            {"Retry-After": f"{retry_after:g}"}
+            if retry_after is not None else None
+        )
+        self._reply(status, body, "application/json", extra=extra)
 
-    def _reply(self, status: int, body: bytes, ctype: str) -> None:
+    def _reply(
+        self,
+        status: int,
+        body: bytes,
+        ctype: str,
+        *,
+        extra: Optional[Dict[str, str]] = None,
+    ) -> None:
         try:
             self.send_response(status)
             self.send_header("Content-Type", ctype)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionError, OSError):
@@ -145,7 +253,9 @@ class ReportService:
 
     ``port=0`` binds an ephemeral port (the default, test-friendly).
     The server runs in a daemon thread; ``stop()`` (or the context
-    manager) shuts it down cleanly.
+    manager) shuts it down cleanly.  ``guard`` tunes admission control
+    and ``breaker`` the store circuit breaker (both have production
+    defaults; tests shrink them).
     """
 
     def __init__(
@@ -154,23 +264,116 @@ class ReportService:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        guard: Optional[GuardConfig] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.store_path = Path(store_path)
         self._host = host
         self._port = port
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self.guard = ServiceGuard("report", guard or GuardConfig())
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=3, reset_after=2.0,
+            gauge="report.breaker_state",
+        )
+        self._cache_lock = threading.Lock()
+        self._last_good: Optional[bytes] = None
+
+    # -- store access, breaker-protected -------------------------------------
 
     def open_store(self) -> ResultStore:
         """A fresh store handle for one request (WAL readers don't block
-        writers, so campaigns can keep ingesting while we serve)."""
+        writers, so campaigns can keep ingesting while we serve).
+
+        Raises :class:`OSError` if the file is gone — sqlite would
+        happily create an empty database at the path, which would turn
+        an operational outage into silently empty charts.
+        """
+        if not self.store_path.exists():
+            raise OSError(f"store file missing: {self.store_path}")
         return ResultStore(self.store_path)
+
+    def with_store(self, fn: Callable[[ResultStore], T]) -> T:
+        """Run ``fn`` against a fresh store handle under the breaker.
+
+        Infrastructure failures (sqlite errors, missing file) trip the
+        breaker and surface as :class:`StoreUnavailable`; client errors
+        (bad filter names, bad values) pass through untouched so they
+        keep mapping to 400 and never poison the breaker.
+        """
+        if not self.breaker.allow():
+            raise StoreUnavailable(
+                f"store circuit open for {self.store_path.name}"
+            )
+        try:
+            with self.open_store() as store:
+                result = fn(store)
+        except (sqlite3.Error, OSError) as exc:
+            self.breaker.record_failure()
+            raise StoreUnavailable(
+                f"store access failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        self.breaker.record_success()
+        return result
+
+    def readiness(self) -> Tuple[bool, Dict[str, Any]]:
+        """(ready, detail) for ``/readyz``: liveness is not enough —
+        ready means the store opens *and* passes a quick integrity
+        check right now."""
+        detail: Dict[str, Any] = {
+            "store": str(self.store_path),
+            "breaker": self.breaker.state,
+        }
+        if not self.breaker.allow():
+            detail["ready"] = False
+            detail["error"] = "store circuit open"
+            return False, detail
+        try:
+            with self.open_store() as store:
+                verdict = store.integrity_check(quick=True)
+        except (sqlite3.Error, OSError) as exc:
+            self.breaker.record_failure()
+            detail["ready"] = False
+            detail["error"] = f"{type(exc).__name__}: {exc}"
+            detail["breaker"] = self.breaker.state
+            return False, detail
+        if verdict != "ok":
+            self.breaker.record_failure()
+            detail["ready"] = False
+            detail["error"] = f"integrity: {verdict}"
+            detail["breaker"] = self.breaker.state
+            return False, detail
+        self.breaker.record_success()
+        detail["ready"] = True
+        detail["breaker"] = self.breaker.state
+        return True, detail
+
+    # -- degraded-mode page cache ---------------------------------------------
+
+    def cache_page(self, page: bytes) -> None:
+        """Remember the last successfully rendered dashboard."""
+        with self._cache_lock:
+            self._last_good = page
+
+    def cached_page(self) -> Optional[bytes]:
+        """The last good dashboard with the staleness banner injected,
+        or None if nothing has rendered yet."""
+        with self._cache_lock:
+            page = self._last_good
+        if page is None:
+            return None
+        return page.replace(b"<body>", b"<body>" + _STALE_BANNER, 1)
+
+    # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
         if self._server is not None:
             return
         handler = type(
-            "_BoundReportHandler", (_ReportHandler,), {"service": self}
+            "_BoundReportHandler",
+            (_ReportHandler,),
+            {"service": self, "timeout": self.guard.config.socket_timeout},
         )
         self._server = ThreadingHTTPServer(
             (self._host, self._port), handler

@@ -59,6 +59,7 @@ from ..errors import (
     classify_exception,
 )
 from ..executor import Task, TaskResult, load_journaled_results
+from ..guard import GuardConfig, GuardRejection, ServiceGuard
 from ..journal import Journal, PathLike
 from ..retry import RetryPolicy
 from . import tasks as task_registry
@@ -101,9 +102,19 @@ class _Round:
 
 
 class _RpcHandler(BaseHTTPRequestHandler):
-    """One POST endpoint (``/rpc``); everything else is a 404."""
+    """One POST endpoint (``/rpc``); everything else is a 404.
+
+    Every request passes through the coordinator's
+    :class:`~repro.runtime.guard.ServiceGuard`: admission control and
+    rate limiting run *before* the body is read (a shed request costs
+    one queue probe, not a parse), Content-Length is validated before
+    any bytes move (413/400), and an envelope whose ``deadline_ms``
+    budget was burned waiting in the queue is rejected with 504 instead
+    of executed for a client that already gave up.
+    """
 
     # a worker that stalls mid-request must not pin a server thread
+    # (overridden from GuardConfig.socket_timeout by start())
     timeout = 30.0
     protocol_version = "HTTP/1.1"
     coordinator: "FabricCoordinator"
@@ -112,10 +123,22 @@ class _RpcHandler(BaseHTTPRequestHandler):
         if self.path != "/rpc":
             self._reply(404, encode_error("unknown path"))
             return
+        guard = self.coordinator.guard
+        arrival = time.monotonic()
         try:
-            length = int(self.headers.get("Content-Length") or 0)
-            env = decode_request(self.rfile.read(length))
-            result = self.coordinator.handle(env)
+            with guard.admit():
+                env = decode_request(
+                    guard.read_body(self.rfile, self.headers)
+                )
+                guard.check_deadline(env.get("deadline_ms"), arrival)
+                result = self.coordinator.handle(env)
+        except GuardRejection as rej:
+            # The body may be unread: close the connection so HTTP/1.1
+            # keep-alive framing cannot desynchronize.
+            self._reply(
+                rej.status, encode_error(rej.reason),
+                retry_after=rej.retry_after, close=True,
+            )
         except RpcError as exc:
             self._reply(400, encode_error(str(exc)))
         except Exception as exc:  # server must answer, never hang a node
@@ -123,11 +146,23 @@ class _RpcHandler(BaseHTTPRequestHandler):
         else:
             self._reply(200, encode_response(result))
 
-    def _reply(self, status: int, body: bytes) -> None:
+    def _reply(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        retry_after: Optional[float] = None,
+        close: bool = False,
+    ) -> None:
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", f"{retry_after:g}")
+            if close:
+                self.send_header("Connection", "close")
+                self.close_connection = True
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionError, OSError):
@@ -149,6 +184,7 @@ class FabricCoordinator:
         lease_batch: int = 2,
         poll_interval: float = 0.15,
         shard_dir: Optional[PathLike] = None,
+        guard: Optional[GuardConfig] = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be > 0 seconds")
@@ -159,6 +195,9 @@ class FabricCoordinator:
         self.lease_ttl = lease_ttl
         self.lease_batch = lease_batch
         self.poll_interval = poll_interval
+        #: overload protection for the RPC surface (admission control,
+        #: rate limiting, body caps, deadline enforcement)
+        self.guard = ServiceGuard("fabric", guard or GuardConfig())
         #: directory of node shard journals to merge on commit (when the
         #: coordinator can see them, e.g. localhost or a shared mount)
         self.shard_dir = shard_dir
@@ -178,7 +217,11 @@ class FabricCoordinator:
         if self._server is not None:
             return self.address
         handler = type(
-            "_BoundRpcHandler", (_RpcHandler,), {"coordinator": self}
+            "_BoundRpcHandler", (_RpcHandler,),
+            {
+                "coordinator": self,
+                "timeout": self.guard.config.socket_timeout,
+            },
         )
         self._server = ThreadingHTTPServer((self.host, self.port), handler)
         self._server.daemon_threads = True
@@ -843,6 +886,12 @@ class FabricExecutor:
         the store tracks the journal's durable state; the ingest is keyed
         by record identity and is therefore a no-op for anything a prior
         commit already folded in.
+
+        The journal — not the store — is the durable record, so a store
+        sink that fails here (full disk, corrupt file, held lock) must
+        not fail the completed campaign: the error is reported and
+        counted, and ``repro store rebuild`` (or any later re-ingest)
+        folds the same journal in once the store recovers.
         """
         if self.store is None or self.journal is None:
             return
@@ -850,5 +899,16 @@ class FabricExecutor:
         # that never touch the results store.
         from ...store import ingest_journal, open_store
 
-        with open_store(self.store) as store:
-            ingest_journal(store, self.journal.path)
+        try:
+            with open_store(self.store) as store:
+                ingest_journal(store, self.journal.path)
+        except Exception as exc:
+            get_metrics().counter("store.ingest_failures").inc()
+            print(
+                "warning: results-store ingest failed "
+                f"({type(exc).__name__}: {exc}); the journal at "
+                f"{self.journal.path} remains the durable record — "
+                "re-ingest it once the store is healthy "
+                "(repro store rebuild)",
+                file=sys.stderr,
+            )

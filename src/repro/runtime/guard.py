@@ -1,0 +1,425 @@
+"""Service hardening shared by both HTTP surfaces (fabric RPC, report).
+
+A production serving layer must *degrade*, not die: when the offered
+load exceeds what the process can do, the cheapest correct answer is a
+fast, well-formed rejection the client can back off on.  This module
+packages the four classic mechanisms behind one small API so the fabric
+coordinator (:mod:`repro.runtime.fabric.coordinator`) and the report
+dashboard (:mod:`repro.report.service`) share identical semantics:
+
+* **admission control** (:class:`AdmissionGate`) — a bounded number of
+  requests execute concurrently; a bounded queue absorbs short bursts;
+  anything beyond that is *shed* with 503 + ``Retry-After`` instead of
+  piling up threads until the process falls over.
+* **rate limiting** (:class:`TokenBucket`) — a steady-state requests/s
+  ceiling with burst credit; excess traffic gets 429 + ``Retry-After``.
+* **deadline enforcement** — fabric envelopes already carry
+  ``deadline_ms``; a request whose client has certainly stopped waiting
+  is rejected cheaply (504) instead of executed for nobody.
+* **body caps** (:meth:`ServiceGuard.read_body`) — Content-Length is
+  validated (negative/malformed → 400, oversized → 413) *before* any
+  bytes are read, and the read itself is chunk-bounded (staticcheck
+  rule F304 holds handlers to this).
+
+:class:`CircuitBreaker` rounds the set out for *dependency* failure:
+the report service wraps store access in one so a corrupted or vanished
+store file flips the service into a degraded mode (cached page, fast
+503s) instead of hammering a broken dependency on every request.
+
+Everything is observable through :mod:`repro.obs`: per-guard counters
+(``guard.<name>.admitted/shed/rate_limited/deadline_expired/
+body_rejected``) and a breaker state gauge (0 closed / 1 half-open /
+2 open).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..obs import get_metrics
+
+__all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "GuardConfig",
+    "GuardRejection",
+    "ServiceGuard",
+    "TokenBucket",
+]
+
+#: chunk size for capped body reads (bounds a single recv, not the body)
+_READ_CHUNK = 65536
+
+
+class GuardRejection(Exception):
+    """A request the guard refused; carries the HTTP reply to send.
+
+    ``status`` is the HTTP status code (400/413/429/503/504),
+    ``retry_after`` the seconds to advertise in a ``Retry-After``
+    header (None = no header: the client should not simply retry).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        reason: str,
+        *,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+        self.retry_after = retry_after
+
+    def body(self) -> Dict[str, Any]:
+        """The well-formed JSON body every rejected request receives."""
+        payload: Dict[str, Any] = {
+            "error": self.reason, "status": self.status,
+        }
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Tuning knobs for one :class:`ServiceGuard` (see docs/resilience.md)."""
+
+    #: requests executing concurrently before new ones queue
+    max_inflight: int = 8
+    #: requests allowed to wait for a slot; beyond this they are shed
+    max_queue: int = 16
+    #: longest a request may wait in the queue before being shed
+    queue_timeout: float = 1.0
+    #: steady-state requests/second (0 = rate limiting disabled)
+    rate: float = 0.0
+    #: burst credit on top of the steady rate
+    burst: float = 10.0
+    #: largest accepted request body; larger Content-Lengths get 413
+    max_body_bytes: int = 8 << 20
+    #: seconds advertised in Retry-After on 429/503 rejections
+    retry_after: float = 0.5
+    #: per-connection socket timeout (bounds slow reads/writes)
+    socket_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        for name in (
+            "queue_timeout", "rate", "burst", "retry_after",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if self.socket_timeout <= 0:
+            raise ValueError("socket_timeout must be > 0")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, up to ``burst`` banked.
+
+    ``rate <= 0`` disables the bucket (every take succeeds).  The clock
+    is injectable so tests are deterministic.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = max(burst, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; False means rate-limited."""
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True
+            return False
+
+
+class AdmissionGate:
+    """Bounded concurrency plus a bounded wait queue.
+
+    ``try_enter`` returns False — *immediately* when the queue is full,
+    after at most ``timeout`` seconds otherwise — instead of blocking
+    unboundedly; that refusal is what the guard turns into a 503.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+
+    def try_enter(self, timeout: float) -> bool:
+        with self._cond:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                return True
+            if self._waiting >= self.max_queue:
+                return False
+            self._waiting += 1
+            deadline = time.monotonic() + timeout
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+                self._inflight += 1
+                return True
+            finally:
+                self._waiting -= 1
+
+    def leave(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+
+class CircuitBreaker:
+    """Closed → open after ``failure_threshold`` consecutive failures;
+    half-open (one probe) after ``reset_after`` seconds; a probe success
+    closes it again, a probe failure re-opens it.
+
+    ``gauge`` names an obs gauge kept at 0 (closed) / 1 (half-open) /
+    2 (open) so dashboards can watch the breaker flip.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    _GAUGE_VALUE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_after: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        gauge: Optional[str] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after < 0:
+            raise ValueError("reset_after must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._gauge = gauge
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._set_gauge()
+
+    def _set_gauge(self) -> None:
+        if self._gauge is None:
+            return
+        mx = get_metrics()
+        if mx:
+            mx.gauge(self._gauge).set(self._GAUGE_VALUE[self._state])
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected call may proceed right now."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.reset_after:
+                    # one probe gets through; the rest keep failing fast
+                    self._state = self.HALF_OPEN
+                    self._set_gauge()
+                    return True
+                return False
+            return False  # half-open: a probe is already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != self.CLOSED:
+                self._state = self.CLOSED
+                self._set_gauge()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            tripped = (
+                self._state == self.HALF_OPEN
+                or self._failures >= self.failure_threshold
+            )
+            if tripped and self._state != self.OPEN:
+                self._state = self.OPEN
+                self._set_gauge()
+            if tripped:
+                self._opened_at = self._clock()
+
+
+class ServiceGuard:
+    """One HTTP surface's admission control, rate limit and body cap.
+
+    ``name`` namespaces the metrics (``guard.<name>.*``) so the fabric
+    and report guards stay distinguishable in one registry.
+    """
+
+    def __init__(
+        self, name: str, config: Optional[GuardConfig] = None
+    ) -> None:
+        self.name = name
+        self.config = config or GuardConfig()
+        self._gate = AdmissionGate(
+            self.config.max_inflight, self.config.max_queue
+        )
+        self._bucket = TokenBucket(self.config.rate, self.config.burst)
+
+    def _count(self, event: str, n: int = 1) -> None:
+        mx = get_metrics()
+        if mx:
+            mx.counter(f"guard.{self.name}.{event}").inc(n)
+
+    @property
+    def inflight(self) -> int:
+        return self._gate.inflight
+
+    # -- admission -----------------------------------------------------------
+
+    def acquire(self, timeout: Optional[float] = None) -> None:
+        """Take one admission slot or raise the 429/503 rejection.
+
+        Exposed for tests that want to hold slots open; production code
+        uses :meth:`admit`.
+        """
+        if not self._bucket.try_take():
+            self._count("rate_limited")
+            raise GuardRejection(
+                429, "rate limit exceeded",
+                retry_after=self.config.retry_after,
+            )
+        wait = self.config.queue_timeout if timeout is None else timeout
+        if not self._gate.try_enter(wait):
+            self._count("shed")
+            raise GuardRejection(
+                503, "server at capacity; request shed",
+                retry_after=self.config.retry_after,
+            )
+        self._count("admitted")
+
+    def release(self) -> None:
+        self._gate.leave()
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Admission-control one request; raises :class:`GuardRejection`
+        (429 rate-limited / 503 shed) instead of admitting."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    # -- deadline enforcement ------------------------------------------------
+
+    def check_deadline(
+        self, deadline_ms: Any, arrival: float
+    ) -> None:
+        """Reject (504) work whose client deadline elapsed since
+        ``arrival`` (the ``time.monotonic()`` the request was received).
+
+        The server cannot know network latency, so this is measured
+        from receipt: by the time queueing alone has burned the whole
+        ``deadline_ms`` budget, the client has certainly timed out and
+        executing the request would be work for nobody.
+        """
+        try:
+            budget_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            return  # no/unparsable deadline: nothing to enforce
+        if budget_ms <= 0:
+            return
+        waited_ms = (time.monotonic() - arrival) * 1000.0
+        if waited_ms >= budget_ms:
+            self._count("deadline_expired")
+            raise GuardRejection(
+                504,
+                f"deadline expired on arrival ({waited_ms:.0f}ms elapsed "
+                f">= {budget_ms:.0f}ms budget)",
+                retry_after=self.config.retry_after,
+            )
+
+    # -- body caps -----------------------------------------------------------
+
+    def read_body(self, rfile: Any, headers: Any) -> bytes:
+        """Read one request body, validating Content-Length *first*.
+
+        Negative or malformed lengths get 400 and oversized ones 413
+        before a single body byte is read; the read itself proceeds in
+        bounded chunks so a lying client cannot balloon memory either.
+        """
+        raw = headers.get("Content-Length") or "0"
+        try:
+            length = int(raw)
+        except (TypeError, ValueError):
+            self._count("body_rejected")
+            raise GuardRejection(
+                400, f"malformed Content-Length {raw!r}"
+            )
+        if length < 0:
+            self._count("body_rejected")
+            raise GuardRejection(
+                400, f"negative Content-Length {length}"
+            )
+        if length > self.config.max_body_bytes:
+            self._count("body_rejected")
+            raise GuardRejection(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte cap",
+            )
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            chunk = rfile.read(min(remaining, _READ_CHUNK))
+            if not chunk:
+                self._count("body_rejected")
+                raise GuardRejection(
+                    400,
+                    f"truncated request body ({length - remaining} of "
+                    f"{length} bytes received)",
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)

@@ -78,6 +78,8 @@ def classify_scopes(relpath: str) -> Set[str]:
         scopes.add("executor")
     if "fabric" in parts:
         scopes.add("fabric")
+    if "report" in parts or rel.endswith("runtime/guard.py"):
+        scopes.add("service")
     return scopes
 
 

@@ -23,7 +23,9 @@ from ..astutil import const_value, resolve_call
 from ..findings import Finding, Module, Rule
 from ..registry import register
 
-__all__ = ["ForkSafety", "AtomicWrite", "UntimedNetworkCall"]
+__all__ = [
+    "ForkSafety", "AtomicWrite", "UntimedNetworkCall", "UnboundedBodyRead",
+]
 
 #: calls that make the rename-pattern visible inside a function body
 _ATOMIC_MARKERS = ("os.replace", "os.rename", "atomic_write")
@@ -300,3 +302,77 @@ class UntimedNetworkCall(Rule):
             ):
                 return True
         return False
+
+
+@register
+class UnboundedBodyRead(Rule):
+    code = "F304"
+    slug = "unbounded-body-read"
+    family = "forksafety"
+    summary = (
+        "HTTP handler reads its request body without a constant bound"
+    )
+    rationale = (
+        "``rfile.read(length)`` with a client-supplied Content-Length "
+        "(or no argument at all) lets one hostile or buggy request "
+        "allocate arbitrary memory before admission control can refuse "
+        "it — the classic way a serving process dies under one bad "
+        "client instead of shedding it.  Handlers must cap the length "
+        "*first* and read in constant-bounded chunks; "
+        "``ServiceGuard.read_body`` packages the whole pattern "
+        "(validate, 413/400, chunked read)."
+    )
+    scope = "service"
+
+    #: both HTTP surfaces are held to this: the report dashboard and
+    #: the fabric coordinator's RPC endpoint
+    _SCOPES = frozenset({"service", "fabric"})
+
+    def applies(self, module: Module) -> bool:
+        return bool(self._SCOPES & module.scopes)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in (
+            n for n in ast.walk(module.tree) if isinstance(n, ast.Call)
+        ):
+            if not self._is_rfile_read(call):
+                continue
+            if not call.args:
+                yield module.finding(
+                    call, self.code,
+                    "rfile.read() with no size reads until the peer "
+                    "closes; a slow client pins this thread and its "
+                    "memory forever",
+                )
+                continue
+            if self._bounded(call.args[0]):
+                continue
+            yield module.finding(
+                call, self.code,
+                "rfile.read(n) where n comes from the request: a lying "
+                "Content-Length allocates unbounded memory; clamp it "
+                "(min(n, CAP)) or use ServiceGuard.read_body",
+            )
+
+    @staticmethod
+    def _is_rfile_read(call: ast.Call) -> bool:
+        """Whether this is ``<something>.rfile.read(...)``."""
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "read"):
+            return False
+        recv = func.value
+        if isinstance(recv, ast.Name) and recv.id == "rfile":
+            return True
+        return isinstance(recv, ast.Attribute) and recv.attr == "rfile"
+
+    @staticmethod
+    def _bounded(arg: ast.expr) -> bool:
+        """A size argument that cannot exceed a compile-time constant."""
+        if isinstance(const_value(arg), int):
+            return True
+        return (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Name)
+            and arg.func.id == "min"
+            and len(arg.args) >= 2
+        )

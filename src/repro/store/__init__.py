@@ -15,6 +15,7 @@ from .ingest import (
     ingest_results,
     ingest_sweep_points,
 )
+from .maintenance import quarantine_store, rebuild_store, verify_store
 from .query import AvfRow, FILTER_COLUMNS, QueryResult, VALUE_COLUMNS
 from .schema import MIGRATIONS, SCHEMA_VERSION, migrate
 
@@ -33,4 +34,7 @@ __all__ = [
     "ingest_sweep_points",
     "migrate",
     "open_store",
+    "quarantine_store",
+    "rebuild_store",
+    "verify_store",
 ]

@@ -21,6 +21,7 @@ Design (see docs/results-store.md):
 
 from __future__ import annotations
 
+import errno
 import json
 import sqlite3
 import time
@@ -46,6 +47,13 @@ from .schema import SCHEMA_VERSION, migrate
 __all__ = ["ResultStore", "engine_version", "open_store"]
 
 PathLike = Union[str, Path]
+
+#: bounded deterministic backoff for "database is locked" at BEGIN:
+#: attempts and delays are fixed (no jitter) so a locked-db schedule
+#: replays exactly — chaos tests depend on that.
+_LOCK_RETRY_ATTEMPTS = 5
+_LOCK_RETRY_BASE = 0.05
+_LOCK_RETRY_CAP = 0.5
 
 _AVF_COLUMNS = (
     "workload", "structure", "scheme", "style", "factor", "mode",
@@ -120,7 +128,13 @@ class ResultStore:
     counters.
     """
 
-    def __init__(self, path: PathLike, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        timeout: float = 30.0,
+        chaos: Optional[Any] = None,
+    ) -> None:
         self.path = Path(path)
         if self.path.is_dir():
             raise ValueError(
@@ -128,6 +142,10 @@ class ResultStore:
             )
         if self.path.parent != Path("."):
             self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: dev-only persistence fault injection
+        #: (a :class:`~repro.runtime.chaos.ChaosPolicy`; None = off)
+        self.chaos = chaos
+        self._txn_seq = 0
         # Autocommit mode: transactions are explicit BEGIN IMMEDIATE
         # blocks (see _txn), never the driver's implicit ones.
         self._conn = sqlite3.connect(
@@ -135,8 +153,13 @@ class ResultStore:
             check_same_thread=False,
         )
         self._conn.row_factory = sqlite3.Row
-        # sqlite3.connect(timeout=...) already installs the busy handler
-        # that makes concurrent writers queue instead of failing.
+        # Belt and braces against "database is locked": the connect
+        # timeout installs Python's busy handler, and busy_timeout makes
+        # sqlite itself wait out held locks — including code paths the
+        # Python handler does not cover.  (PRAGMA values cannot be bound
+        # parameters; the statement is assembled from our own int.)
+        busy_pragma = "PRAGMA busy_timeout = " + str(int(timeout * 1000))
+        self._conn.execute(busy_pragma)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA foreign_keys=ON")
@@ -155,14 +178,52 @@ class ResultStore:
 
     @contextmanager
     def _txn(self) -> Iterator[sqlite3.Connection]:
-        """One immediate write transaction; rolls back on error."""
-        self._conn.execute("BEGIN IMMEDIATE")
+        """One immediate write transaction; rolls back on error.
+
+        ``BEGIN IMMEDIATE`` is where a concurrently-held write lock
+        surfaces, so that is where the bounded deterministic-backoff
+        retry lives: concurrent dashboard reads plus campaign writes
+        must queue, never surface a raw ``database is locked``.
+        """
+        seq = self._txn_seq = self._txn_seq + 1
+        self._begin_immediate(seq)
         try:
             yield self._conn
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        if self.chaos is not None and self.chaos.store_enospc_active(seq):
+            self._conn.execute("ROLLBACK")
+            raise OSError(
+                errno.ENOSPC, "chaos: no space left on device (mid-ingest)"
+            )
         self._conn.execute("COMMIT")
+
+    def _begin_immediate(self, seq: int) -> None:
+        """Take the write lock, retrying "database is locked" with a
+        bounded deterministic backoff (no jitter: replayable)."""
+        delay = _LOCK_RETRY_BASE
+        for attempt in range(_LOCK_RETRY_ATTEMPTS):
+            try:
+                if self.chaos is not None and (
+                    self.chaos.store_locked_active(seq, attempt)
+                ):
+                    raise sqlite3.OperationalError(
+                        "database is locked (chaos)"
+                    )
+                self._conn.execute("BEGIN IMMEDIATE")
+                return
+            except sqlite3.OperationalError as exc:
+                message = str(exc)
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt + 1 >= _LOCK_RETRY_ATTEMPTS:
+                    raise
+                mx = get_metrics()
+                if mx:
+                    mx.counter("store.locked_retries").inc()
+                time.sleep(delay)
+                delay = min(delay * 2.0, _LOCK_RETRY_CAP)
 
     def _count_writes(
         self, attempted: int, before: int
@@ -181,9 +242,16 @@ class ResultStore:
     def schema_version(self) -> int:
         return SCHEMA_VERSION
 
-    def integrity_check(self) -> str:
-        """sqlite's own structural check: 'ok' or a fault description."""
-        rows = self._conn.execute("PRAGMA integrity_check").fetchall()
+    def integrity_check(self, *, quick: bool = False) -> str:
+        """sqlite's own structural check: 'ok' or a fault description.
+
+        ``quick=True`` runs ``PRAGMA quick_check`` (no cross-index
+        verification) — cheap enough for a readiness probe.
+        """
+        pragma = (
+            "PRAGMA quick_check" if quick else "PRAGMA integrity_check"
+        )
+        rows = self._conn.execute(pragma).fetchall()
         return "; ".join(str(r[0]) for r in rows)
 
     def summary(self) -> Dict[str, Any]:

@@ -1,0 +1,204 @@
+"""Store self-healing: verify a results database, rebuild a corrupt one.
+
+The store is a *derived* artifact: every row in it was folded in from a
+durable journal (or is reproducible from a seed), so a corrupted store
+file is an inconvenience, not data loss.  This module turns that into
+an operational guarantee:
+
+* :func:`verify_store` — ``PRAGMA integrity_check`` (or the cheaper
+  ``quick_check``) plus schema/table/row-count sanity, reported as a
+  structured verdict instead of an exception.
+* :func:`rebuild_store` — quarantine the damaged file (``os.replace``
+  to ``<name>.corrupt-N``, WAL/SHM sidecars included), create a fresh
+  store, and replay journals/shards through the normal idempotent
+  ingest.  Because every writer keys rows by canonical identity and
+  uses ``INSERT OR IGNORE``, the rebuild is a pure replay: it converges
+  to the same query results as a store that was never corrupted (the
+  byte-identical ``/api/query`` test in ``tests/store`` holds this).
+
+Exposed on the CLI as ``repro store verify`` / ``repro store rebuild``
+(runbook: docs/results-store.md).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import get_metrics, get_tracer
+from .db import PathLike, ResultStore
+from .ingest import ingest_journal
+from .schema import SCHEMA_VERSION, schema_version
+
+__all__ = ["verify_store", "rebuild_store", "quarantine_store"]
+
+#: every table the current schema version must contain
+REQUIRED_TABLES = (
+    "meta", "avf_results", "injections", "mttf_rows", "campaigns",
+)
+
+#: sqlite sidecar suffixes that must travel with a quarantined file
+_SIDECAR_SUFFIXES = ("-wal", "-shm")
+
+
+def verify_store(
+    path: PathLike, *, quick: bool = False
+) -> Dict[str, Any]:
+    """Check one store file; returns ``{"ok": bool, "checks": ...,
+    "problems": [...]}`` and never raises for a damaged file.
+
+    Checks, in order: the file exists and opens, sqlite integrity
+    (``quick_check`` when ``quick``), the stamped schema version is one
+    this build understands, every required table is present, and every
+    table answers a row count.  Any failure is a problem string; a
+    store with an empty ``problems`` list is healthy.
+    """
+    target = Path(path)
+    report: Dict[str, Any] = {
+        "path": str(target),
+        "ok": False,
+        "checks": {},
+        "problems": [],
+    }
+    problems: List[str] = report["problems"]
+    checks: Dict[str, Any] = report["checks"]
+    mx = get_metrics()
+    if mx:
+        mx.counter("store.verify_runs").inc()
+    with get_tracer().span("store_verify", path=str(target)):
+        if not target.exists():
+            problems.append("store file does not exist")
+        else:
+            try:
+                with ResultStore(target) as store:
+                    _verify_open_store(store, checks, problems, quick)
+            except (sqlite3.Error, RuntimeError, ValueError, OSError) as exc:
+                problems.append(
+                    f"cannot open store: {type(exc).__name__}: {exc}"
+                )
+    report["ok"] = not problems
+    if mx and problems:
+        mx.counter("store.verify_failures").inc()
+    return report
+
+
+def _verify_open_store(
+    store: ResultStore,
+    checks: Dict[str, Any],
+    problems: List[str],
+    quick: bool,
+) -> None:
+    verdict = store.integrity_check(quick=quick)
+    checks["integrity"] = verdict
+    if verdict != "ok":
+        problems.append(f"integrity_check: {verdict}")
+    stamped = schema_version(store._conn)
+    checks["schema_version"] = stamped
+    if stamped != SCHEMA_VERSION:
+        problems.append(
+            f"schema version {stamped} != expected {SCHEMA_VERSION}"
+        )
+    present = {
+        str(row[0]) for row in store._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "ORDER BY name"
+        )
+    }
+    missing = sorted(set(REQUIRED_TABLES) - present)
+    if missing:
+        problems.append("missing tables: " + ", ".join(missing))
+    counts: Dict[str, int] = {}
+    try:
+        summary = store.summary()
+        for table in ("avf_results", "injections", "mttf_rows",
+                      "campaigns"):
+            counts[table] = int(summary[table])
+    except (sqlite3.Error, KeyError, TypeError, ValueError) as exc:
+        problems.append(
+            f"row counts unreadable: {type(exc).__name__}: {exc}"
+        )
+    checks["rows"] = counts
+
+
+def quarantine_store(path: PathLike) -> str:
+    """Move a damaged store file (and WAL/SHM sidecars) out of the way.
+
+    The file is renamed — never deleted — to ``<name>.corrupt-N`` with
+    the first free N, so repeated rebuilds keep every generation of
+    evidence for a post-mortem.  Returns the quarantine path.
+    """
+    target = Path(path)
+    for n in range(1, 1000):
+        parked = target.with_name(f"{target.name}.corrupt-{n}")
+        if not parked.exists():
+            break
+    else:  # pragma: no cover - 999 quarantined generations
+        raise RuntimeError(f"no free quarantine name for {target}")
+    os.replace(target, parked)
+    for suffix in _SIDECAR_SUFFIXES:
+        sidecar = Path(str(target) + suffix)
+        if sidecar.exists():
+            os.replace(sidecar, str(parked) + suffix)
+    return str(parked)
+
+
+def rebuild_store(
+    path: PathLike,
+    journals: Sequence[PathLike] = (),
+    *,
+    shard_dir: Optional[PathLike] = None,
+    workload: Optional[str] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Quarantine ``path`` (if present) and reconstruct it from journals.
+
+    ``journals`` are canonical campaign journals; ``shard_dir`` (with a
+    canonical journal to merge into) additionally folds fabric node
+    shards in first, exactly like a coordinator commit, so records the
+    lost store had but the canonical journal missed are recovered too.
+    The replay runs through :func:`~repro.store.ingest.ingest_journal`
+    — the same idempotent path every live campaign uses — so rebuilding
+    twice, or rebuilding on top of a healthy store, changes nothing.
+
+    Returns ``{"quarantined": path-or-None, "journals": N,
+    "ingested": ..., "deduped": ..., "verify": verify_store(...)}``.
+    """
+    target = Path(path)
+    journal_paths = [Path(j) for j in journals]
+    if shard_dir is not None:
+        if not journal_paths:
+            raise ValueError(
+                "rebuilding from a shard dir needs a canonical journal "
+                "to merge the shards into"
+            )
+        # Lazy import: store modules must not drag the fabric in for
+        # plain local verify/rebuild use.
+        from ..runtime.fabric.merge import merge_shards
+
+        merge_shards(journal_paths[0], shard_dir)
+    result: Dict[str, Any] = {
+        "path": str(target),
+        "quarantined": None,
+        "journals": len(journal_paths),
+        "ingested": 0,
+        "deduped": 0,
+    }
+    with get_tracer().span(
+        "store_rebuild", path=str(target), journals=len(journal_paths),
+    ):
+        if target.exists():
+            result["quarantined"] = quarantine_store(target)
+        with ResultStore(target) as store:
+            for journal in journal_paths:
+                counts = ingest_journal(
+                    store, journal, workload=workload, seed=seed
+                )
+                result["ingested"] += counts["ingested"]
+                result["deduped"] += counts["deduped"]
+    mx = get_metrics()
+    if mx:
+        mx.counter("store.rebuilds").inc()
+    result["verify"] = verify_store(target, quick=True)
+    return result

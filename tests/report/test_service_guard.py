@@ -1,0 +1,224 @@
+"""Overload protection and degraded mode on the dashboard surface.
+
+Unit-level: shed/rate-limit admissions return well-formed JSON with
+``Retry-After``, probes bypass admission, and client errors never trip
+the store breaker.
+
+Concurrency: many threads hammer every route while a campaign ingests
+through WAL — no 500s, every rejection is well-formed, nothing hangs.
+
+Acceptance (``service_chaos`` marker): the store file vanishes out from
+under a running service — ``GET /`` serves the cached page with a
+staleness banner, ``/readyz`` flips to 503 while ``/healthz`` stays
+200, and putting the file back heals the service through the breaker's
+half-open probe without a restart.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.report import ReportService
+from repro.runtime.guard import CircuitBreaker, GuardConfig
+from repro.store import ResultStore
+
+from ..store.conftest import avf_row
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "r.sqlite"
+    with ResultStore(path) as store:
+        store.put_avf_rows(
+            [
+                avf_row(workload="matmul", structure="vgpr", sdc_avf=0.1),
+                avf_row(workload="transpose", structure="vgpr",
+                        mode="4x1", sdc_avf=0.3),
+            ]
+        )
+    return path
+
+
+def fetch(service, path, timeout=10.0):
+    """GET without raising on error statuses; (status, headers, body)."""
+    conn = http.client.HTTPConnection(*service.address, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+class TestAdmissionOnReportSurface:
+    def test_shed_is_503_json_with_retry_after(self, store_path):
+        svc = ReportService(
+            store_path,
+            guard=GuardConfig(max_inflight=1, max_queue=0,
+                              queue_timeout=0.05, retry_after=0.25),
+        )
+        with svc:
+            svc.guard.acquire()  # occupy the only slot
+            try:
+                status, headers, body = fetch(svc, "/api/summary")
+            finally:
+                svc.guard.release()
+            assert status == 503
+            assert headers.get("Retry-After") == "0.25"
+            payload = json.loads(body)
+            assert payload["status"] == 503 and "error" in payload
+            # the slot came back: the next request is served
+            assert fetch(svc, "/api/summary")[0] == 200
+
+    def test_rate_limit_is_429(self, store_path):
+        svc = ReportService(
+            store_path,
+            guard=GuardConfig(rate=0.000001, burst=1.0, retry_after=0.1),
+        )
+        with svc:
+            first, _, _ = fetch(svc, "/api/summary")
+            second, headers, body = fetch(svc, "/api/summary")
+        assert first == 200
+        assert second == 429
+        assert headers.get("Retry-After") == "0.1"
+        assert "error" in json.loads(body)
+
+    def test_probes_bypass_admission(self, store_path):
+        svc = ReportService(
+            store_path,
+            guard=GuardConfig(max_inflight=1, max_queue=0,
+                              queue_timeout=0.05),
+        )
+        with svc:
+            svc.guard.acquire()  # gate is full ...
+            try:
+                # ... yet the supervisor still gets its answers
+                assert fetch(svc, "/healthz")[0] == 200
+                assert fetch(svc, "/readyz")[0] == 200
+            finally:
+                svc.guard.release()
+
+    def test_client_errors_do_not_trip_the_breaker(self, store_path):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after=60.0)
+        with ReportService(store_path, breaker=breaker) as svc:
+            for _ in range(5):
+                status, _, _ = fetch(svc, "/api/query?benchmark=matmul")
+                assert status == 400
+            assert breaker.state == breaker.CLOSED
+            assert fetch(svc, "/api/summary")[0] == 200
+
+
+class TestConcurrentLoad:
+    def test_flood_with_live_ingest_never_500s(self, store_path):
+        """Satellite: N threads across every route while a campaign
+        ingests — bounded concurrency sheds cleanly, never errors."""
+        paths = ["/", "/api/query", "/api/mttf", "/api/summary",
+                 "/api/query?workload=matmul"]
+        results = []
+        results_lock = threading.Lock()
+        stop_ingest = threading.Event()
+
+        def hammer(i):
+            for n in range(12):
+                status, _, body = fetch(
+                    svc, paths[(i + n) % len(paths)], timeout=10.0
+                )
+                with results_lock:
+                    results.append((status, body))
+
+        def ingest():
+            seed = 100
+            while not stop_ingest.is_set():
+                with ResultStore(store_path) as store:
+                    store.put_avf_rows([avf_row(seed=seed)])
+                seed += 1
+                time.sleep(0.005)
+
+        with obs.observe() as (registry, _tracer):
+            svc = ReportService(
+                store_path,
+                guard=GuardConfig(max_inflight=4, max_queue=4,
+                                  queue_timeout=0.05, retry_after=0.05),
+            )
+            with svc:
+                writer = threading.Thread(target=ingest, daemon=True)
+                writer.start()
+                threads = [
+                    threading.Thread(target=hammer, args=(i,))
+                    for i in range(8)
+                ]
+                t0 = time.monotonic()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=60.0)
+                elapsed = time.monotonic() - t0
+                stop_ingest.set()
+                writer.join(timeout=10.0)
+            counters = registry.snapshot()["counters"]
+
+        assert len(results) == 8 * 12  # nothing hung or died
+        statuses = {status for status, _ in results}
+        assert statuses <= {200, 429, 503}  # never a 500
+        for status, body in results:
+            if status != 200:
+                payload = json.loads(body)  # rejections are well-formed
+                assert "error" in payload
+        assert counters.get("guard.report.admitted", 0) > 0
+        assert elapsed < 60.0
+
+
+@pytest.mark.service_chaos
+class TestDegradedMode:
+    def test_store_outage_degrades_and_heals(self, store_path, tmp_path):
+        """Acceptance (c): store vanishes → cached page + banner +
+        ``/readyz`` 503 while ``/healthz`` stays 200; store returns →
+        the breaker's half-open probe heals the service in place."""
+        hidden = tmp_path / "hidden.sqlite"
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=0.3,
+            gauge="report.breaker_state",
+        )
+        with obs.observe() as (registry, _tracer):
+            with ReportService(store_path, breaker=breaker) as svc:
+                # healthy: the page renders and is cached
+                status, _, healthy_page = fetch(svc, "/")
+                assert status == 200
+                assert b"data-stale" not in healthy_page
+
+                store_path.rename(hidden)  # the outage
+
+                # the dashboard degrades to the cached page, marked stale
+                status, headers, stale_page = fetch(svc, "/")
+                assert status == 503
+                assert headers.get("X-Repro-Stale") == "1"
+                assert "Retry-After" in headers
+                assert b'data-stale="1"' in stale_page
+                # the stale page is the healthy page plus the banner
+                assert healthy_page[-2048:] == stale_page[-2048:]
+
+                # APIs fail fast with an honest degraded flag
+                status, _, body = fetch(svc, "/api/query")
+                assert status == 503
+                assert json.loads(body)["degraded"] is True
+
+                # alive but not ready: restart the store, not the process
+                assert fetch(svc, "/healthz")[0] == 200
+                status, _, body = fetch(svc, "/readyz")
+                assert status == 503
+                assert json.loads(body)["ready"] is False
+
+                hidden.rename(store_path)  # the repair
+                time.sleep(0.35)  # past reset_after: half-open probe
+
+                assert fetch(svc, "/")[0] == 200
+                assert breaker.state == breaker.CLOSED
+                assert fetch(svc, "/readyz")[0] == 200
+            snap = registry.snapshot()
+
+        assert snap["counters"].get("report.stale_served", 0) >= 1
+        assert snap["gauges"]["report.breaker_state"] == 0.0  # CLOSED

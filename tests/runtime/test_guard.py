@@ -1,0 +1,334 @@
+"""Unit tests for the shared service-hardening layer (runtime.guard).
+
+Everything here is deterministic: buckets and breakers take injected
+clocks, the admission gate is driven from controlled threads, and body
+reads run against in-memory streams.
+"""
+
+import io
+import threading
+
+import pytest
+
+from repro.runtime.guard import (
+    AdmissionGate,
+    CircuitBreaker,
+    GuardConfig,
+    GuardRejection,
+    ServiceGuard,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestGuardConfig:
+    def test_defaults_valid(self):
+        cfg = GuardConfig()
+        assert cfg.max_inflight >= 1
+        assert cfg.max_body_bytes > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"max_queue": -1},
+            {"queue_timeout": -0.1},
+            {"rate": -1.0},
+            {"max_body_bytes": 0},
+            {"socket_timeout": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GuardConfig(**kwargs)
+
+
+class TestGuardRejection:
+    def test_body_is_well_formed_json_payload(self):
+        rej = GuardRejection(503, "shed", retry_after=0.5)
+        assert rej.body() == {
+            "error": "shed", "status": 503, "retry_after": 0.5,
+        }
+
+    def test_no_retry_after_means_no_key(self):
+        assert "retry_after" not in GuardRejection(400, "bad").body()
+
+
+class TestTokenBucket:
+    def test_zero_rate_disables_limiting(self):
+        bucket = TokenBucket(0.0, 1.0, clock=FakeClock())
+        assert all(bucket.try_take() for _ in range(1000))
+
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, 3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 1.0, clock=clock)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, 2.0, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_take() for _ in range(3)] == [True, True, False]
+
+
+class TestAdmissionGate:
+    def test_admits_up_to_max_inflight(self):
+        gate = AdmissionGate(2, 0)
+        assert gate.try_enter(0.0)
+        assert gate.try_enter(0.0)
+        assert not gate.try_enter(0.0)
+        assert gate.inflight == 2
+
+    def test_leave_frees_a_slot(self):
+        gate = AdmissionGate(1, 0)
+        assert gate.try_enter(0.0)
+        gate.leave()
+        assert gate.try_enter(0.0)
+
+    def test_full_queue_refused_immediately(self):
+        gate = AdmissionGate(1, 0)
+        assert gate.try_enter(0.0)
+        # max_queue=0: nobody may wait, however long the timeout
+        assert not gate.try_enter(5.0)
+
+    def test_queued_request_admitted_when_slot_frees(self):
+        gate = AdmissionGate(1, 1)
+        assert gate.try_enter(0.0)
+        admitted = []
+
+        def waiter():
+            admitted.append(gate.try_enter(5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        gate.leave()
+        t.join(timeout=5.0)
+        assert admitted == [True]
+
+    def test_queue_timeout_sheds(self):
+        gate = AdmissionGate(1, 1)
+        assert gate.try_enter(0.0)
+        assert not gate.try_enter(0.05)  # waited, timed out, shed
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = FakeClock()
+        brk = CircuitBreaker(failure_threshold=3, reset_after=1.0,
+                             clock=clock)
+        for _ in range(2):
+            brk.record_failure()
+        assert brk.state == brk.CLOSED and brk.allow()
+        brk.record_failure()
+        assert brk.state == brk.OPEN and not brk.allow()
+
+    def test_half_open_probe_after_reset(self):
+        clock = FakeClock()
+        brk = CircuitBreaker(failure_threshold=1, reset_after=1.0,
+                             clock=clock)
+        brk.record_failure()
+        assert not brk.allow()
+        clock.advance(1.0)
+        assert brk.allow()            # the single probe
+        assert brk.state == brk.HALF_OPEN
+        assert not brk.allow()        # everyone else keeps failing fast
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        brk = CircuitBreaker(failure_threshold=1, reset_after=1.0,
+                             clock=clock)
+        brk.record_failure()
+        clock.advance(1.0)
+        assert brk.allow()
+        brk.record_success()
+        assert brk.state == brk.CLOSED and brk.allow()
+
+    def test_probe_failure_reopens_for_full_window(self):
+        clock = FakeClock()
+        brk = CircuitBreaker(failure_threshold=3, reset_after=1.0,
+                             clock=clock)
+        for _ in range(3):
+            brk.record_failure()
+        clock.advance(1.0)
+        assert brk.allow()
+        brk.record_failure()  # one half-open failure re-opens immediately
+        assert brk.state == brk.OPEN
+        clock.advance(0.5)
+        assert not brk.allow()
+        clock.advance(0.5)
+        assert brk.allow()
+
+    def test_success_resets_failure_streak(self):
+        brk = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        brk.record_failure()
+        brk.record_success()
+        brk.record_failure()
+        assert brk.state == brk.CLOSED
+
+
+class _Headers(dict):
+    """Just enough of http.client's message API for read_body."""
+
+
+def _read(guard, payload, content_length):
+    return guard.read_body(
+        io.BytesIO(payload), _Headers({"Content-Length": content_length})
+    )
+
+
+class TestServiceGuardAdmission:
+    def test_admit_context_manager_releases(self):
+        guard = ServiceGuard("t", GuardConfig(max_inflight=1, max_queue=0))
+        with guard.admit():
+            assert guard.inflight == 1
+        assert guard.inflight == 0
+
+    def test_shed_raises_503_with_retry_after(self):
+        guard = ServiceGuard(
+            "t",
+            GuardConfig(max_inflight=1, max_queue=0, queue_timeout=0.01,
+                        retry_after=0.25),
+        )
+        guard.acquire()
+        with pytest.raises(GuardRejection) as exc_info:
+            guard.acquire()
+        assert exc_info.value.status == 503
+        assert exc_info.value.retry_after == 0.25
+        guard.release()
+
+    def test_rejection_does_not_leak_a_slot(self):
+        guard = ServiceGuard(
+            "t", GuardConfig(max_inflight=1, max_queue=0, queue_timeout=0.01)
+        )
+        guard.acquire()
+        for _ in range(3):
+            with pytest.raises(GuardRejection):
+                guard.acquire()
+        guard.release()
+        with guard.admit():
+            pass  # the slot came back
+
+    def test_rate_limit_raises_429(self):
+        # burst floor is 1 token: the first request spends it, the
+        # second is rate-limited (rate is too slow to refill in time).
+        guard = ServiceGuard(
+            "t", GuardConfig(rate=0.000001, burst=1.0, retry_after=0.1)
+        )
+        with guard.admit():
+            pass
+        with pytest.raises(GuardRejection) as exc_info:
+            guard.acquire()
+        assert exc_info.value.status == 429
+        assert exc_info.value.retry_after == 0.1
+
+
+class TestServiceGuardDeadline:
+    def test_absent_or_unparsable_deadline_is_ignored(self):
+        guard = ServiceGuard("t")
+        for raw in (None, "nope", [], 0, -5):
+            guard.check_deadline(raw, arrival=0.0)  # must not raise
+
+    def test_expired_deadline_rejected_504(self):
+        import time
+
+        guard = ServiceGuard("t")
+        arrival = time.monotonic() - 1.0  # arrived one second ago
+        with pytest.raises(GuardRejection) as exc_info:
+            guard.check_deadline(50, arrival)  # 50ms budget, long gone
+        assert exc_info.value.status == 504
+
+    def test_live_deadline_passes(self):
+        import time
+
+        guard = ServiceGuard("t")
+        guard.check_deadline(60_000, time.monotonic())
+
+
+class TestServiceGuardBody:
+    def test_reads_exact_body(self):
+        guard = ServiceGuard("t")
+        assert _read(guard, b"hello", "5") == b"hello"
+
+    def test_big_body_read_in_chunks(self):
+        guard = ServiceGuard("t", GuardConfig(max_body_bytes=1 << 20))
+        payload = b"x" * 300_000
+        assert _read(guard, payload, str(len(payload))) == payload
+
+    def test_missing_length_means_empty_body(self):
+        guard = ServiceGuard("t")
+        assert guard.read_body(io.BytesIO(b""), _Headers()) == b""
+        # an empty header value is treated as absent, not malformed
+        assert _read(guard, b"", "") == b""
+
+    @pytest.mark.parametrize("raw", ["abc", "1.5"])
+    def test_malformed_length_is_400(self, raw):
+        guard = ServiceGuard("t")
+        with pytest.raises(GuardRejection) as exc_info:
+            _read(guard, b"", raw)
+        assert exc_info.value.status == 400
+
+    def test_negative_length_is_400(self):
+        guard = ServiceGuard("t")
+        with pytest.raises(GuardRejection) as exc_info:
+            _read(guard, b"", "-10")
+        assert exc_info.value.status == 400
+
+    def test_oversized_length_is_413_before_reading(self):
+        class ExplodingStream:
+            def read(self, n):  # pragma: no cover - must never run
+                raise AssertionError("read before the length check")
+
+        guard = ServiceGuard("t", GuardConfig(max_body_bytes=100))
+        with pytest.raises(GuardRejection) as exc_info:
+            guard.read_body(
+                ExplodingStream(), _Headers({"Content-Length": "101"})
+            )
+        assert exc_info.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        guard = ServiceGuard("t")
+        with pytest.raises(GuardRejection) as exc_info:
+            _read(guard, b"abc", "10")  # promises 10, delivers 3
+        assert exc_info.value.status == 400
+
+
+class TestGuardMetrics:
+    def test_events_counted_per_guard_name(self):
+        from repro import obs
+
+        with obs.observe() as (registry, _tracer):
+            guard = ServiceGuard(
+                "unit",
+                GuardConfig(max_inflight=1, max_queue=0,
+                            queue_timeout=0.01, max_body_bytes=10),
+            )
+            with guard.admit():
+                with pytest.raises(GuardRejection):
+                    guard.acquire()
+            with pytest.raises(GuardRejection):
+                _read(guard, b"", "11")
+            counters = registry.snapshot()["counters"]
+        assert counters["guard.unit.admitted"] == 1
+        assert counters["guard.unit.shed"] == 1
+        assert counters["guard.unit.body_rejected"] == 1

@@ -1,0 +1,20 @@
+"""Fixture: unbounded HTTP body reads (F304) plus bounded look-alikes.
+
+Lives under ``report/`` so path classification grants the ``service``
+scope the rule is gated on.
+"""
+
+_CHUNK = 65536
+
+
+def unbounded(self, length):
+    body = self.rfile.read(length)
+    rest = self.rfile.read()
+    return body, rest
+
+
+def bounded(self, stream, length):
+    head = self.rfile.read(4096)
+    chunk = self.rfile.read(min(length, _CHUNK))
+    other = stream.read(length)
+    return head, chunk, other

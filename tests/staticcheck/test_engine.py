@@ -32,6 +32,11 @@ class TestScopeClassification:
         assert "executor" in classify_scopes("runtime/executor.py")
         assert "executor" not in classify_scopes("runtime/journal.py")
 
+    def test_service_surfaces(self):
+        assert "service" in classify_scopes("report/service.py")
+        assert "service" in classify_scopes("runtime/guard.py")
+        assert "service" not in classify_scopes("runtime/journal.py")
+
     def test_cli_has_no_scopes(self):
         assert classify_scopes("cli.py") == set()
 

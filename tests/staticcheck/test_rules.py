@@ -136,6 +136,29 @@ class TestForkSafetyRules:
             for path, _ in findings_for(fixture_findings, "F303")
         )
 
+    def test_f304_unbounded_body_reads(self, fixture_findings):
+        assert findings_for(fixture_findings, "F304") == [
+            ("report/bad_body_read.py", 11),  # rfile.read(length)
+            ("report/bad_body_read.py", 12),  # rfile.read() no size
+        ]
+
+    def test_f304_bounded_variants_not_flagged(self, fixture_findings):
+        # bounded() (lines 16-20): constant size, min()-clamped size,
+        # and a non-rfile stream read — all clean.
+        flagged = {
+            line for path, line in findings_for(fixture_findings, "F304")
+            if path == "report/bad_body_read.py"
+        }
+        assert not flagged & set(range(16, 21))
+
+    def test_f304_scope_gated_to_service_and_fabric(self, fixture_findings):
+        # Only report/ (service scope) and fabric paths are F304's
+        # business; the same call elsewhere must not fire.
+        assert all(
+            path.startswith("report/")
+            for path, _ in findings_for(fixture_findings, "F304")
+        )
+
 
 class TestObsDisciplineRules:
     def test_o401_span_without_with(self, fixture_findings):
@@ -218,12 +241,12 @@ class TestEngineBehaviour:
         assert lines == [9]
 
     def test_total_finding_count(self, fixture_result):
-        assert len(fixture_result.findings) == 48
+        assert len(fixture_result.findings) == 50
         assert fixture_result.by_rule() == {
             "D101": 6, "D102": 5, "D103": 4, "D104": 3, "E001": 1,
-            "F301": 3, "F302": 2, "F303": 5, "N201": 2, "N202": 2,
-            "N203": 2, "N204": 1, "O401": 2, "O402": 1, "O403": 2,
-            "P501": 7,
+            "F301": 3, "F302": 2, "F303": 5, "F304": 2, "N201": 2,
+            "N202": 2, "N203": 2, "N204": 1, "O401": 2, "O402": 1,
+            "O403": 2, "P501": 7,
         }
 
     def test_findings_are_sorted_and_carry_snippets(self, fixture_findings):
