@@ -275,10 +275,12 @@ class FabricCoordinator:
             for t in pending
         }
         rnd = _Round(job=job, states=states)
-        rnd.queue.extend(t.id for t in pending)
         with self._lock:
             if self._round is not None:
                 raise ExecutorError("a fabric round is already in flight")
+            # fill the queue under the lock: handler threads touch it the
+            # moment the round is published
+            rnd.queue.extend(t.id for t in pending)
             self._round = rnd
             self._timeout = timeout
         return rnd

@@ -23,6 +23,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
@@ -75,11 +76,15 @@ class RpcClient:
         #: dev-only network fault injection (None = off)
         self.chaos = chaos
         self._seq = 0
+        #: one client can be shared by a worker's main loop and its
+        #: heartbeat thread; only the sequence counter needs guarding
+        self._seq_lock = threading.Lock()
 
     @property
     def seq(self) -> int:
         """RPCs attempted so far (chaos key; monotonic per node)."""
-        return self._seq
+        with self._seq_lock:
+            return self._seq
 
     def call(
         self,
@@ -98,8 +103,9 @@ class RpcClient:
         attempt = 0
         while True:
             attempt += 1
-            seq = self._seq
-            self._seq += 1
+            with self._seq_lock:
+                seq = self._seq
+                self._seq += 1
             try:
                 return self._attempt(method, params, seq, deadline)
             except RpcUnavailable as exc:

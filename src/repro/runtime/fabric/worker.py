@@ -128,8 +128,11 @@ class FabricWorker:
             obs.enable(metrics=False, tracing=True)
         if not self._register(register_timeout):
             return
+        # snapshot the interval before the thread starts: lease_ttl is
+        # only rewritten by _register, which has already returned
         hb = threading.Thread(
             target=self._heartbeat_loop,
+            args=(max(0.05, self.lease_ttl / 3.0),),
             name=f"fabric-hb-{self.node}",
             daemon=True,
         )
@@ -195,9 +198,8 @@ class FabricWorker:
             return True
         return False
 
-    def _heartbeat_loop(self) -> None:
+    def _heartbeat_loop(self, interval: float) -> None:
         beat = 0
-        interval = max(0.05, self.lease_ttl / 3.0)
         while not self._stop.wait(interval):
             beat += 1
             if self.chaos is not None and self.chaos.heartbeat_blackout_active(

@@ -1,0 +1,166 @@
+"""Per-file lint cache keyed by content hash.
+
+A cache entry stores everything one file contributes to a run: its
+pre-suppression per-file findings, its :class:`FileSummary` for the
+whole-program index, and its skip/parse-error status.  On a warm run an
+unchanged file is neither re-parsed nor re-linted — its summary still
+feeds the project index, so the C-family (whole-program) rules see the
+complete picture either way.
+
+The cache is *advisory*: a missing, corrupt, or version-skewed file is
+silently treated as empty and rebuilt.  The fingerprint folds in a
+schema version plus the sorted registered rule codes, so adding or
+removing a rule invalidates everything (per-file findings stored in
+entries would otherwise go stale).
+
+Writes go through :func:`repro.ioutil.atomic_write` — a crash mid-save
+leaves the previous cache intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..ioutil import atomic_write
+from .findings import Finding
+from .index import FileSummary
+
+__all__ = ["LintCache", "CacheEntry", "content_hash", "engine_fingerprint"]
+
+#: bump when the summary/entry schema changes shape
+SCHEMA_VERSION = 2
+
+
+def content_hash(source: bytes) -> str:
+    return hashlib.sha256(source).hexdigest()
+
+
+def engine_fingerprint(rule_codes: List[str]) -> str:
+    """Identity of the analysis: schema + the active rule set."""
+    payload = json.dumps(
+        {"schema": SCHEMA_VERSION, "rules": sorted(rule_codes)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One file's cached analysis, keyed by its content hash."""
+
+    hash: str
+    #: pre-suppression per-file findings (suppression is re-applied
+    #: centrally each run, so edits to *other* files behave identically
+    #: on hits and misses)
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    summary: Optional[Dict[str, Any]] = None
+    skipped: bool = False
+    #: (line, col, msg) when the file did not parse
+    parse_error: Optional[List[Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hash": self.hash,
+            "findings": self.findings,
+            "summary": self.summary,
+            "skipped": self.skipped,
+            "parse_error": self.parse_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CacheEntry":
+        return cls(
+            hash=data["hash"],
+            findings=data["findings"],
+            summary=data["summary"],
+            skipped=data["skipped"],
+            parse_error=data["parse_error"],
+        )
+
+    def restore_findings(self) -> List[Finding]:
+        return [
+            Finding(
+                path=f["path"],
+                line=f["line"],
+                col=f["col"],
+                rule=f["rule"],
+                message=f["message"],
+                snippet=f.get("snippet", ""),
+            )
+            for f in self.findings
+        ]
+
+    def restore_summary(self) -> Optional[FileSummary]:
+        if self.summary is None:
+            return None
+        return FileSummary.from_dict(self.summary)
+
+
+class LintCache:
+    """The on-disk cache: load leniently, save atomically."""
+
+    def __init__(self, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self.entries: Dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Optional[Path], fingerprint: str) -> "LintCache":
+        cache = cls(fingerprint)
+        if path is None:
+            return cache
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(data, dict):
+            return cache
+        if data.get("fingerprint") != fingerprint:
+            return cache
+        files = data.get("files")
+        if not isinstance(files, dict):
+            return cache
+        for relpath, raw in files.items():
+            try:
+                cache.entries[relpath] = CacheEntry.from_dict(raw)
+            except (KeyError, TypeError):
+                continue  # one bad entry never poisons the rest
+        return cache
+
+    def get(self, relpath: str, digest: str) -> Optional[CacheEntry]:
+        entry = self.entries.get(relpath)
+        if entry is not None and entry.hash == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, relpath: str, entry: CacheEntry) -> None:
+        self.entries[relpath] = entry
+
+    def prune(self, keep: List[str]) -> None:
+        """Drop entries for files no longer in the scanned set."""
+        wanted = set(keep)
+        for relpath in list(self.entries):
+            if relpath not in wanted:
+                del self.entries[relpath]
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": {
+                relpath: self.entries[relpath].to_dict()
+                for relpath in sorted(self.entries)
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(
+            path,
+            json.dumps(payload, sort_keys=True, indent=None) + "\n",
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     ClassVar,
     Dict,
     FrozenSet,
@@ -20,6 +21,10 @@ from typing import (
     Optional,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import CallGraph
+    from .index import ProjectIndex
 
 __all__ = ["Finding", "Module", "Rule"]
 
@@ -137,6 +142,24 @@ class Rule:
 
     def finalize(self) -> Iterator[Finding]:
         """Yield cross-module findings after every module was checked."""
+        return iter(())
+
+    #: whole-program rules run exclusively from :meth:`finalize_project`
+    #: (their :meth:`check` never fires); per-file rules leave this False
+    #: so cached files can skip them safely
+    project_rule: ClassVar[bool] = False
+
+    def finalize_project(
+        self, project: "ProjectIndex", graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        """Yield findings from the whole-program index.
+
+        Runs once per lint with the :class:`ProjectIndex` built over
+        *every* scanned file (cached or fresh) and its
+        :class:`CallGraph`.  Unlike :meth:`check`/:meth:`finalize`, this
+        hook sees cross-file structure: class inventories, lock fields,
+        thread-entry seeding and resolved call edges.
+        """
         return iter(())
 
     @classmethod

@@ -7,6 +7,7 @@ one of these modules (or a new module imported here).  See
 """
 
 from . import (
+    concurrency,
     determinism,
     forksafety,
     numpy_hygiene,
@@ -15,6 +16,7 @@ from . import (
 )
 
 __all__ = [
+    "concurrency",
     "determinism",
     "forksafety",
     "numpy_hygiene",

@@ -12,11 +12,15 @@ singletons.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
 
 from ..astutil import dotted_name, resolve_call
 from ..findings import Finding, Module, Rule
 from ..registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import CallGraph
+    from ..index import ProjectIndex
 
 __all__ = ["SpanContext", "MetricNameCollision", "DirectObsConstruction"]
 
@@ -92,32 +96,31 @@ class MetricNameCollision(Rule):
         "which scrapers reject."
     )
     scope = None
+    #: index-driven since the whole-program pass landed: metric sites
+    #: come from each FileSummary, so cached (unparsed) files still
+    #: participate in collision detection
+    project_rule = True
 
     _KINDS = ("counter", "gauge", "histogram")
 
-    def __init__(self) -> None:
-        #: metric name -> kind -> [(module, node line/col for findings)]
-        self._sites: Dict[str, Dict[str, List[Tuple[Module, ast.Call]]]] = {}
-
     def check(self, module: Module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in self._KINDS
-                and node.args
-                and isinstance(node.args[0], ast.Constant)
-                and isinstance(node.args[0].value, str)
-            ):
-                continue
-            name = node.args[0].value
-            kinds = self._sites.setdefault(name, {})
-            kinds.setdefault(node.func.attr, []).append((module, node))
         return iter(())
 
-    def finalize(self) -> Iterator[Finding]:
-        for name in sorted(self._sites):
-            kinds = self._sites[name]
+    def finalize_project(
+        self, project: "ProjectIndex", graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        #: metric name -> kind -> [(relpath, line, col, snippet)]
+        sites: Dict[str, Dict[str, List[Tuple[str, int, int, str]]]] = {}
+        for relpath in sorted(project.files):
+            for raw in project.files[relpath].metric_sites:
+                name, kind, line, col, snippet = raw
+                if kind not in self._KINDS:
+                    continue
+                sites.setdefault(str(name), {}).setdefault(
+                    str(kind), []
+                ).append((relpath, int(line), int(col), str(snippet)))
+        for name in sorted(sites):
+            kinds = sites[name]
             if len(kinds) < 2:
                 continue
             # The majority kind is taken as intended; every site of the
@@ -128,14 +131,20 @@ class MetricNameCollision(Rule):
                 key=lambda k: (-len(kinds[k]), self._KINDS.index(k)),
             )
             canonical = ranked[0]
-            anchor_mod, anchor = kinds[canonical][0]
+            anchor_rel, anchor_line, _c, _s = kinds[canonical][0]
             for kind in ranked[1:]:
-                for module, node in kinds[kind]:
-                    yield module.finding(
-                        node, self.code,
-                        f"metric {name!r} registered as a {kind} here but "
-                        f"as a {canonical} at "
-                        f"{anchor_mod.relpath}:{anchor.lineno}",
+                for relpath, line, col, snippet in kinds[kind]:
+                    yield Finding(
+                        path=relpath,
+                        line=line,
+                        col=col,
+                        rule=self.code,
+                        message=(
+                            f"metric {name!r} registered as a {kind} "
+                            f"here but as a {canonical} at "
+                            f"{anchor_rel}:{anchor_line}"
+                        ),
+                        snippet=snippet,
                     )
 
 

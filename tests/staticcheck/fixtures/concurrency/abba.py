@@ -1,0 +1,25 @@
+"""C604 fixture: alpha->beta on one path, beta->alpha on the other."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self.alpha = threading.Lock()
+        self.beta = threading.Lock()
+        self.balance = 0
+
+    def credit(self):
+        with self.alpha:
+            with self.beta:
+                self.balance += 1
+
+    def debit(self):
+        with self.beta:
+            with self.alpha:
+                self.balance -= 1  # C604 reported at the later order
+
+    def audit(self):
+        with self.alpha:
+            with self.beta:
+                return self.balance  # clean: same order as credit

@@ -1,0 +1,24 @@
+"""C602 fixture: bare acquire leaks; the try/finally twin is clean."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def bad_update(table, key, value):
+    _lock.acquire()  # C602: release not structurally guaranteed
+    table[key] = value
+    _lock.release()
+
+
+def good_update(table, key, value):
+    _lock.acquire()
+    try:
+        table[key] = value
+    finally:
+        _lock.release()
+
+
+def best_update(table, key, value):
+    with _lock:
+        table[key] = value

@@ -1,0 +1,25 @@
+"""C603 fixture: sleep under the lock; Condition.wait is sanctioned."""
+
+import threading
+import time
+
+
+class SlowCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.data = {}
+
+    def refresh(self):
+        with self._lock:
+            time.sleep(0.1)  # C603: blocking while holding _lock
+            self.data = {}
+
+    def wait_ready(self):
+        with self._cond:
+            self._cond.wait()  # clean: waiting on the held Condition
+
+    def refresh_politely(self):
+        time.sleep(0.1)  # clean: no lock held
+        with self._lock:
+            self.data = {}

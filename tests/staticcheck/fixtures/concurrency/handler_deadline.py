@@ -1,0 +1,23 @@
+"""C605 fixture: handler-reachable helpers that lose the deadline."""
+
+import urllib.request
+from http.server import BaseHTTPRequestHandler
+
+
+def fetch_status(url):
+    return urllib.request.urlopen(url)  # C605(a): untimed, handler-reachable
+
+
+def fetch_with_deadline(url, deadline_ms):
+    return urllib.request.urlopen(url, None, deadline_ms / 1000.0)  # clean
+
+
+def relay(url, deadline_ms):
+    fetch_with_deadline(url)  # C605(b): deadline_ms in hand, not forwarded
+    return fetch_with_deadline(url, deadline_ms)  # clean: forwarded
+
+
+class StatusHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        fetch_status("http://upstream/status")
+        relay("http://upstream/health", 250)

@@ -1,0 +1,26 @@
+"""C601 fixture: `hits` is racy, `safe_hits` is locked on both sides."""
+
+import threading
+
+
+class StatsBoard:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.safe_hits = 0
+
+    def start(self):
+        t = threading.Thread(target=self.worker_loop)
+        t.start()
+        return t
+
+    def worker_loop(self):
+        self.hits += 1  # C601: thread-side write, no lock
+        with self._lock:
+            self.safe_hits += 1
+
+    def report(self):
+        total = self.hits  # driver-side read, no lock
+        with self._lock:
+            safe = self.safe_hits
+        return total + safe

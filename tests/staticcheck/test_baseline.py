@@ -126,6 +126,6 @@ class TestCliRatchet:
         out = tmp_path / "report.json"
         main([str(FIXTURES), "--format", "json", "--output", str(out)])
         payload = json.loads(out.read_text())
-        assert payload["files_scanned"] == 18
+        assert payload["files_scanned"] == 23
         # no stray tmp files from the atomic write
         assert list(tmp_path.glob("*.tmp")) == []

@@ -1,0 +1,164 @@
+"""Incremental-cache, --changed closure and SARIF reporter tests."""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.staticcheck.cli import changed_relpaths, main
+from repro.staticcheck.engine import run
+from repro.staticcheck.reporters import render_json, render_sarif
+
+BAD_SET = "def f(values):\n    for v in {1, 2}:\n        values.append(v)\n"
+CLEAN = "def g():\n    return 3\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "dirty.py").write_text(BAD_SET)
+    (tmp_path / "src" / "clean.py").write_text(CLEAN)
+    return tmp_path / "src"
+
+
+class TestLintCache:
+    def test_second_run_hits_for_every_file(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = run([tree], cache_path=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        warm = run([tree], cache_path=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+
+    def test_edit_invalidates_only_that_file(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        run([tree], cache_path=cache)
+        (tree / "clean.py").write_text(CLEAN + "\n# touched\n")
+        res = run([tree], cache_path=cache)
+        assert (res.cache_hits, res.cache_misses) == (1, 1)
+
+    def test_cached_findings_identical_to_cold(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = run([tree], cache_path=cache)
+        warm = run([tree], cache_path=cache)
+        assert warm.findings == cold.findings
+
+    def test_corrupt_cache_ignored_and_rebuilt(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        run([tree], cache_path=cache)
+        cache.write_text("{ not json !")
+        res = run([tree], cache_path=cache)
+        assert res.cache_misses == 2
+        assert json.loads(cache.read_text())  # rebuilt, loadable again
+        assert run([tree], cache_path=cache).cache_hits == 2
+
+    def test_warm_and_cold_reports_byte_identical(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = render_json(run([tree], cache_path=cache))
+        warm = render_json(run([tree], cache_path=cache))
+        assert warm == cold
+
+    def test_parse_error_survives_the_cache(self, tree, tmp_path):
+        (tree / "broken.py").write_text("def oops(:\n")
+        cache = tmp_path / "cache.json"
+        cold = run([tree], cache_path=cache)
+        warm = run([tree], cache_path=cache)
+        assert cold.parse_errors == warm.parse_errors == ["broken.py"]
+        assert [f.rule for f in warm.findings if f.path == "broken.py"] == [
+            "E001"
+        ]
+
+
+class TestParallel:
+    def test_pool_matches_serial(self, tree):
+        serial = run([tree])
+        pooled = run([tree], jobs=2)
+        assert pooled.findings == serial.findings
+
+
+class TestChangedClosure:
+    def _tree(self, tmp_path):
+        root = tmp_path / "src"
+        root.mkdir()
+        (root / "base.py").write_text(BAD_SET)
+        (root / "top.py").write_text("import base\n" + BAD_SET)
+        return root
+
+    def test_changed_leaf_pulls_in_importers(self, tmp_path):
+        root = self._tree(tmp_path)
+        res = run([root], changed={"base.py"})
+        assert sorted({f.path for f in res.findings}) == [
+            "base.py", "top.py",
+        ]
+
+    def test_changed_root_stays_alone(self, tmp_path):
+        root = self._tree(tmp_path)
+        res = run([root], changed={"top.py"})
+        assert sorted({f.path for f in res.findings}) == ["top.py"]
+
+    def test_empty_changed_set_reports_nothing(self, tmp_path):
+        root = self._tree(tmp_path)
+        res = run([root], changed=set())
+        assert res.findings == []
+        assert res.index_files == 2  # index still built over everything
+
+
+class TestChangedRelpathsGit:
+    def test_maps_git_paths_into_lint_relpaths(self, tmp_path, monkeypatch):
+        def git(*args):
+            subprocess.run(
+                ["git", *args], cwd=tmp_path, check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "t")
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text(CLEAN)
+        (pkg / "b.py").write_text(CLEAN)
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        (pkg / "a.py").write_text(BAD_SET)   # modified
+        (pkg / "c.py").write_text(CLEAN)     # untracked
+        monkeypatch.chdir(tmp_path)
+        assert changed_relpaths([pkg.parent]) == {"pkg/a.py", "pkg/c.py"}
+        assert changed_relpaths([pkg / "a.py"]) == {"a.py"}
+
+    def test_outside_a_repo_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        assert changed_relpaths([tmp_path]) is None
+
+
+class TestSarifReporter:
+    def test_sarif_structure(self, fixture_result):
+        log = json.loads(render_sarif(fixture_result))
+        assert log["version"] == "2.1.0"
+        runs = log["runs"]
+        assert len(runs) == 1
+        driver = runs[0]["tool"]["driver"]
+        assert driver["name"] == "repro.staticcheck"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert len(rule_ids) == len(set(rule_ids))
+        assert "C601" in rule_ids and "D101" in rule_ids
+        assert "E001" in rule_ids  # synthetic parse-error rule
+
+    def test_results_carry_locations_and_rule_index(self, fixture_result):
+        log = json.loads(render_sarif(fixture_result))
+        sarif_run = log["runs"][0]
+        results = sarif_run["results"]
+        assert len(results) == len(fixture_result.findings)
+        rules = sarif_run["tool"]["driver"]["rules"]
+        for res in results:
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"]
+            assert loc["region"]["startLine"] >= 1
+            assert loc["region"]["startColumn"] >= 1
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+    def test_cli_format_sarif(self, tree, capsys):
+        assert main([str(tree), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "D103"

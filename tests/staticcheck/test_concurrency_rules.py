@@ -1,0 +1,93 @@
+"""C-family (whole-program concurrency) rule tests against fixtures.
+
+The fixtures under ``fixtures/concurrency/`` hold one deliberate
+violation per rule at a pinned line, next to deliberately-clean
+look-alikes that must stay quiet (locked twin attributes, try/finally
+acquire, Condition.wait, consistent lock order, forwarded deadlines).
+"""
+
+from .conftest import findings_for
+
+
+class TestC601UnsyncSharedState:
+    def test_racy_attr_flagged_at_thread_write(self, fixture_findings):
+        assert findings_for(fixture_findings, "C601") == [
+            ("concurrency/unsync_counter.py", 18),  # self.hits += 1
+        ]
+
+    def test_message_names_both_sides(self, fixture_findings):
+        f = [x for x in fixture_findings if x.rule == "C601"][0]
+        assert "'hits'" in f.message
+        assert "StatsBoard.worker_loop" in f.message
+        assert "StatsBoard.report" in f.message
+
+    def test_locked_twin_not_flagged(self, fixture_findings):
+        # safe_hits is mutated at 20 and read at 25, both under _lock
+        flagged = {
+            line for path, line in findings_for(fixture_findings, "C601")
+            if path == "concurrency/unsync_counter.py"
+        }
+        assert 20 not in flagged
+        assert 25 not in flagged
+
+
+class TestC602BareAcquire:
+    def test_bare_acquire_flagged(self, fixture_findings):
+        assert findings_for(fixture_findings, "C602") == [
+            ("concurrency/bare_acquire.py", 9),  # _lock.acquire()
+        ]
+
+    def test_try_finally_and_with_not_flagged(self, fixture_findings):
+        flagged = {
+            line for path, line in findings_for(fixture_findings, "C602")
+            if path == "concurrency/bare_acquire.py"
+        }
+        assert 15 not in flagged  # acquire immediately guarded by finally
+        assert 23 not in flagged  # with-block
+
+
+class TestC603BlockingUnderLock:
+    def test_sleep_under_lock_flagged(self, fixture_findings):
+        assert findings_for(fixture_findings, "C603") == [
+            ("concurrency/blocking_hold.py", 15),  # time.sleep in with
+        ]
+
+    def test_condition_wait_exempt(self, fixture_findings):
+        # line 20: self._cond.wait() while holding self._cond
+        assert ("concurrency/blocking_hold.py", 20) not in findings_for(
+            fixture_findings, "C603"
+        )
+
+    def test_sleep_outside_lock_not_flagged(self, fixture_findings):
+        assert ("concurrency/blocking_hold.py", 23) not in findings_for(
+            fixture_findings, "C603"
+        )
+
+
+class TestC604LockOrderInversion:
+    def test_abba_reported_once_at_later_order(self, fixture_findings):
+        assert findings_for(fixture_findings, "C604") == [
+            ("concurrency/abba.py", 20),  # debit: beta -> alpha
+        ]
+
+    def test_message_points_at_other_order(self, fixture_findings):
+        f = [x for x in fixture_findings if x.rule == "C604"][0]
+        assert "Transfer.alpha" in f.message
+        assert "Transfer.beta" in f.message
+        assert "concurrency/abba.py:15" in f.message  # credit's site
+
+
+class TestC605DeadlineDropped:
+    def test_both_halves_fire(self, fixture_findings):
+        assert findings_for(fixture_findings, "C605") == [
+            ("concurrency/handler_deadline.py", 8),   # untimed urlopen
+            ("concurrency/handler_deadline.py", 16),  # dropped deadline_ms
+        ]
+
+    def test_timed_and_forwarded_calls_clean(self, fixture_findings):
+        flagged = {
+            line for path, line in findings_for(fixture_findings, "C605")
+            if path == "concurrency/handler_deadline.py"
+        }
+        assert 12 not in flagged  # positional timeout passed
+        assert 17 not in flagged  # deadline_ms forwarded

@@ -24,4 +24,4 @@ def test_lint_is_noop_without_obs():
     # must still work and record nothing.
     assert not obs.get_metrics()
     result = run([FIXTURES])
-    assert len(result.findings) == 50
+    assert len(result.findings) == 56

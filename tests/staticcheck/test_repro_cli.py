@@ -43,4 +43,4 @@ def test_repro_lint_metrics_export(tmp_path, capsys):
         ["lint", str(FIXTURES), "--metrics", str(metrics)]
     ) == 1
     snapshot = json.loads(metrics.read_text())
-    assert snapshot["counters"]["staticcheck.findings"] == 50
+    assert snapshot["counters"]["staticcheck.findings"] == 56

@@ -241,8 +241,9 @@ class TestEngineBehaviour:
         assert lines == [9]
 
     def test_total_finding_count(self, fixture_result):
-        assert len(fixture_result.findings) == 50
+        assert len(fixture_result.findings) == 56
         assert fixture_result.by_rule() == {
+            "C601": 1, "C602": 1, "C603": 1, "C604": 1, "C605": 2,
             "D101": 6, "D102": 5, "D103": 4, "D104": 3, "E001": 1,
             "F301": 3, "F302": 2, "F303": 5, "F304": 2, "N201": 2,
             "N202": 2, "N203": 2, "N204": 1, "O401": 2, "O402": 1,
